@@ -1,0 +1,184 @@
+// Command mcsim runs one simulated multiprocessor configuration on a chosen
+// workload and prints the cycle count plus component statistics. It is the
+// general entry point for exploring the simulator; cmd/paperfigs and
+// cmd/sweep drive the paper's specific experiments.
+//
+// Examples:
+//
+//	mcsim -workload example1 -model SC
+//	mcsim -workload example2 -model RC -prefetch -spec
+//	mcsim -workload critical -procs 4 -model WC -prefetch -stats
+//	mcsim -workload mix -procs 3 -model SC -spec -prefetch -miss 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "example1", "workload: example1, example2, critical, producer, mix, array, swprefetch, barrier, falseshare")
+		model     = flag.String("model", "SC", "consistency model: SC, PC, WC, RC")
+		procs     = flag.Int("procs", 0, "processor count (0 = workload default)")
+		prefetch  = flag.Bool("prefetch", false, "enable hardware non-binding prefetch (§3)")
+		spec      = flag.Bool("spec", false, "enable speculative loads (§4)")
+		reissue   = flag.Bool("reissue", true, "with -spec: reissue-only correction for undone loads")
+		adveHill  = flag.Bool("advehill", false, "Adve-Hill SC ownership comparator (§6)")
+		nst       = flag.Bool("nst", false, "Stenstrom cacheless comparator (§6)")
+		detectSC  = flag.Bool("detect-sc", false, "SC-violation detector on relaxed hardware (§6, ref [6])")
+		update    = flag.Bool("update", false, "write-update coherence protocol instead of invalidation")
+		modules   = flag.Int("modules", 1, "interleaved home memory modules")
+		dirBW     = flag.Int("dirbw", 0, "messages each home module services per cycle (0 = unlimited)")
+		miss      = flag.Uint64("miss", 100, "end-to-end clean miss latency in cycles")
+		realistic = flag.Bool("realistic", false, "4-wide realistic pipeline instead of the paper's abstract machine")
+		seed      = flag.Int64("seed", 7, "seed for randomized workloads")
+		showStats = flag.Bool("stats", false, "print component statistics after the run")
+		disasm    = flag.Bool("disasm", false, "print the program(s) before running")
+	)
+	flag.Parse()
+
+	m, err := core.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.PaperConfig()
+	if *realistic {
+		cfg = sim.RealisticConfig()
+	}
+	cfg = cfg.WithMissLatency(*miss)
+	cfg.Model = m
+	cfg.Tech = core.Technique{
+		Prefetch: *prefetch, SpecLoad: *spec, ReissueOpt: *spec && *reissue,
+		AdveHill: *adveHill, DetectSC: *detectSC,
+	}
+	cfg.NST = *nst
+	cfg.MemModules = *modules
+	cfg.DirBandwidth = *dirBW
+	if *update {
+		cfg.Protocol = coherence.ProtoUpdate
+	}
+
+	progs, warmups, preload, check := buildWorkload(*wl, *procs, *seed)
+	cfg.Procs = len(progs)
+
+	if *disasm {
+		for i, p := range progs {
+			fmt.Printf("--- processor %d ---\n%s", i, p.Disassemble())
+		}
+	}
+
+	var s *sim.System
+	if warmups != nil {
+		s = sim.New(cfg, warmups)
+		s.Preload(preload)
+		if _, err := s.Run(); err != nil {
+			fatal(fmt.Errorf("warmup: %w", err))
+		}
+		s.LoadPrograms(progs)
+	} else {
+		s = sim.New(cfg, progs)
+		s.Preload(preload)
+	}
+	cycles, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload=%s model=%v tech=%v protocol=%v miss=%d procs=%d\n",
+		*wl, m, cfg.Tech, cfg.Protocol, cfg.MissLatency(), cfg.Procs)
+	fmt.Printf("cycles: %d\n", cycles)
+	if *detectSC {
+		var det uint64
+		for _, u := range s.LSUs {
+			det += u.SCViolations()
+		}
+		if det == 0 {
+			fmt.Println("sc-detector: execution certified sequentially consistent")
+		} else {
+			fmt.Printf("sc-detector: %d possible SC violations (program has data races)\n", det)
+		}
+	}
+	if check != nil {
+		check(s)
+	}
+	if *showStats {
+		fmt.Println()
+		fmt.Print(s.StatsReport())
+	}
+}
+
+// buildWorkload returns the programs, optional warmup programs, memory
+// preload and an optional result check for a named workload.
+func buildWorkload(name string, procs int, seed int64) (progs, warmups []*isa.Program, preload map[uint64]int64, check func(*sim.System)) {
+	def := func(n int) int {
+		if procs > 0 {
+			return procs
+		}
+		return n
+	}
+	switch name {
+	case "example1":
+		return []*isa.Program{workload.Example1()}, nil, nil, nil
+	case "example2":
+		return []*isa.Program{workload.Example2()},
+			[]*isa.Program{workload.Example2Warmup()},
+			map[uint64]int64{workload.AddrD: workload.DValue},
+			nil
+	case "critical":
+		n := def(4)
+		ps := make([]*isa.Program, n)
+		for p := 0; p < n; p++ {
+			ps[p] = workload.CriticalSection(p, n, 4, 2, 1)
+		}
+		return ps, nil, nil, func(s *sim.System) {
+			fmt.Printf("counter: %d (expected %d)\n", s.ReadCoherent(workload.CounterAddr(0)), n*4*2)
+		}
+	case "producer":
+		prod, cons := workload.ProducerConsumer(16)
+		return []*isa.Program{prod, cons}, nil, nil, func(s *sim.System) {
+			fmt.Printf("consumer checksum: %d (expected %d)\n", s.ReadCoherent(workload.SumAddr), 16*17/2)
+		}
+	case "mix":
+		n := def(3)
+		ps := make([]*isa.Program, n)
+		for p := 0; p < n; p++ {
+			ps[p] = workload.RandomSharing(p, n, workload.EqualizationMix(seed))
+		}
+		return ps, nil, nil, nil
+	case "array":
+		return []*isa.Program{workload.ArraySweep(0, 64)}, nil, nil, nil
+	case "swprefetch":
+		return []*isa.Program{workload.SoftwarePrefetchSweep(0, 64, 16)}, nil, nil, nil
+	case "barrier":
+		n := def(4)
+		ps := make([]*isa.Program, n)
+		for p := 0; p < n; p++ {
+			ps[p] = workload.BarrierPhases(p, n, 5, 4)
+		}
+		return ps, nil, nil, func(s *sim.System) {
+			fmt.Printf("final sense: %d (expected 5)\n", s.ReadCoherent(workload.BarrierSenseAddr))
+		}
+	case "falseshare":
+		n := def(4)
+		ps := make([]*isa.Program, n)
+		for p := 0; p < n; p++ {
+			ps[p] = workload.FalseSharing(p, 8)
+		}
+		return ps, nil, nil, nil
+	default:
+		fatal(fmt.Errorf("unknown workload %q", name))
+		return nil, nil, nil, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command sweep runs the evaluation experiments (DESIGN.md rows E1-E7) and
+// prints their result tables:
+//
+//	sweep -exp equalization   model x technique grid (the §5 claim)
+//	sweep -exp latency        miss-latency sweep, SC vs RC
+//	sweep -exp contention     speculation squash rate vs write sharing
+//	sweep -exp lookahead      reorder-buffer size vs technique benefit
+//	sweep -exp protocol       invalidation vs update coherence
+//	sweep -exp advehill       Adve-Hill SC comparator (§6)
+//	sweep -exp nst            Stenstrom cacheless comparator (§6)
+//	sweep -exp all            everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mcmsim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: equalization, latency, contention, lookahead, protocol, advehill, swprefetch, nst, scdetect, detection, bandwidth, mshr, reissue, all")
+	procs := flag.Int("procs", 3, "processors for the workload experiments")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	runners := map[string]func() ([]experiments.Row, error){
+		"equalization": func() ([]experiments.Row, error) { return experiments.Equalization(*procs, *seed) },
+		"latency": func() ([]experiments.Row, error) {
+			return experiments.LatencySweep(*procs, *seed, []uint64{20, 50, 100, 200, 400})
+		},
+		"contention": func() ([]experiments.Row, error) {
+			return experiments.ContentionSweep(*procs, *seed, []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8})
+		},
+		"lookahead": func() ([]experiments.Row, error) {
+			return experiments.LookaheadSweep([]int{2, 4, 8, 16, 32, 64})
+		},
+		"protocol": func() ([]experiments.Row, error) { return experiments.ProtocolComparison(*procs, *seed) },
+		"advehill": func() ([]experiments.Row, error) { return experiments.AdveHillComparison(32) },
+		"swprefetch": func() ([]experiments.Row, error) {
+			return experiments.SoftwarePrefetchComparison([]int{4, 8, 16, 32, 64})
+		},
+		"nst":       func() ([]experiments.Row, error) { return experiments.StenstromComparison(32) },
+		"scdetect":  func() ([]experiments.Row, error) { return experiments.SCDetection() },
+		"detection": func() ([]experiments.Row, error) { return experiments.DetectionPolicyComparison(3, 8) },
+		"bandwidth": func() ([]experiments.Row, error) { return experiments.BandwidthComparison(8) },
+		"mshr":      func() ([]experiments.Row, error) { return experiments.MSHRSweep([]int{1, 2, 4, 8, 16}) },
+		"reissue":   func() ([]experiments.Row, error) { return experiments.ReissueAblation(*procs, *seed) },
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = names[:0]
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+		rows, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", name)
+		printRows(rows)
+		fmt.Println()
+	}
+}
+
+// printRows renders rows as an aligned table with a stable column order.
+func printRows(rows []experiments.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	var cols []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Labels {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	sort.Strings(cols)
+	var extras []string
+	seenX := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Extra {
+			if !seenX[k] {
+				seenX[k] = true
+				extras = append(extras, k)
+			}
+		}
+	}
+	sort.Strings(extras)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := append(append([]string{}, cols...), "cycles")
+	header = append(header, extras...)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		parts := make([]string, 0, len(header))
+		for _, c := range cols {
+			parts = append(parts, r.Labels[c])
+		}
+		parts = append(parts, fmt.Sprint(r.Cycles))
+		for _, x := range extras {
+			parts = append(parts, fmt.Sprintf("%.4f", r.Extra[x]))
+		}
+		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	}
+	w.Flush()
+}

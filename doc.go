@@ -1,0 +1,12 @@
+// Package mcmsim is a deterministic cycle-level shared-memory multiprocessor
+// simulator reproducing Gharachorloo, Gupta and Hennessy, "Two Techniques to
+// Enhance the Performance of Memory Consistency Models" (ICPP 1991).
+//
+// The library lives under internal/: the consistency engine and the paper's
+// two techniques in internal/core, the out-of-order processor in
+// internal/cpu, the lockup-free cache in internal/cache, the directory
+// protocols in internal/coherence, and the experiment runners in
+// internal/experiments. See README.md for the tour and EXPERIMENTS.md for
+// the paper-versus-measured record. The root package holds the benchmark
+// harness (bench_test.go) that regenerates every figure of the paper.
+package mcmsim

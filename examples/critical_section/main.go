@@ -1,0 +1,74 @@
+// Critical sections under contention: four processors increment shared
+// counters behind test-and-set locks. The example contrasts a single hot
+// lock against striped locks, under sequential consistency with and without
+// the paper's techniques, and prints the speculation statistics — showing
+// where latency hiding works (pipelining each processor's own stream) and
+// where it cannot help (serialized lock handoffs), plus the cost of
+// squashed speculation under contention (§5's caveat).
+//
+//	go run ./examples/critical_section
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+const (
+	procs   = 4
+	rounds  = 4
+	updates = 2
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "locks\ttechniques\tcycles\tspec squashes\tcounter ok")
+	for _, nlocks := range []int{1, procs} {
+		for _, tech := range []core.Technique{
+			{},
+			{Prefetch: true},
+			{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+		} {
+			cycles, squashes, ok := run(nlocks, tech)
+			fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%v\n", nlocks, tech, cycles, squashes, ok)
+		}
+	}
+	w.Flush()
+	fmt.Println("\nWith one hot lock the handoff chain dominates and no amount of")
+	fmt.Println("buffering or pipelining shortens it; with striped locks the techniques")
+	fmt.Println("hide each processor's own miss latency. Squash counts show speculation")
+	fmt.Println("paying for contended lines (footnote 2's conservative policy).")
+}
+
+func run(nlocks int, tech core.Technique) (uint64, uint64, bool) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = procs
+	cfg.Model = core.SC
+	cfg.Tech = tech
+	progs := make([]*isa.Program, procs)
+	for p := 0; p < procs; p++ {
+		progs[p] = workload.CriticalSection(p, procs, rounds, updates, nlocks)
+	}
+	s := sim.New(cfg, progs)
+	cycles, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var squashes uint64
+	for _, u := range s.LSUs {
+		squashes += u.Stats.Counter("spec_squashes").Value()
+	}
+	// Mutual exclusion check: no increment lost anywhere.
+	total := int64(0)
+	for i := 0; i < nlocks; i++ {
+		total += s.ReadCoherent(workload.CounterAddr(i))
+	}
+	return cycles, squashes, total == int64(procs*rounds*updates)
+}

@@ -1,0 +1,52 @@
+// Litmus: run the Figure 1 ordering battery interactively. For each litmus
+// test and each consistency model the example shows whether the relaxed
+// (SC-forbidden) outcome occurred, conventionally and with the paper's two
+// techniques enabled — making Figure 1's delay arcs observable and showing
+// that speculation never weakens a model.
+//
+//	go run ./examples/litmus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/experiments"
+	"mcmsim/internal/workload"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "litmus\tmodel\tpermits relaxed?\tconventional\twith pf+spec")
+	for _, l := range workload.AllLitmus() {
+		for _, m := range core.AllModels {
+			conv, err := experiments.RunLitmus(l, m, experiments.TechConv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			both, err := experiments.RunLitmus(l, m, experiments.TechBoth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\n",
+				l.Name, m, conv.Allowed, outcome(conv), outcome(both))
+			if both.Relaxed && !both.Allowed {
+				log.Fatalf("%s/%v: the techniques produced a forbidden outcome!", l.Name, m)
+			}
+		}
+	}
+	w.Flush()
+	fmt.Println("\nEvery 'relaxed' cell is an ordering the model's Figure 1 arcs permit;")
+	fmt.Println("no forbidden outcome ever appears, even with loads issuing speculatively —")
+	fmt.Println("the speculative-load buffer squashes any stale value before it can retire.")
+}
+
+func outcome(c experiments.Figure1Cell) string {
+	if c.Relaxed {
+		return "relaxed"
+	}
+	return "ordered"
+}

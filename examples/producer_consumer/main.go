@@ -1,0 +1,63 @@
+// Producer/consumer: the workload shape the paper's two worked examples are
+// distilled from. A producer fills a buffer and publishes it with a release
+// store; a consumer spins on the flag with acquire loads and sums the
+// buffer. The example runs the pair under every consistency model, with and
+// without the paper's techniques, and verifies the checksum every time —
+// showing both the performance effect and that synchronization stays
+// correct under aggressive speculation.
+//
+//	go run ./examples/producer_consumer
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+const items = 24
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tconventional\tprefetch\tprefetch+speculation")
+	for _, model := range core.AllModels {
+		fmt.Fprintf(w, "%v", model)
+		for _, tech := range []core.Technique{
+			{},
+			{Prefetch: true},
+			{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+		} {
+			cycles := run(model, tech)
+			fmt.Fprintf(w, "\t%d", cycles)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\nEvery cell verified the checksum: the flag handoff is data-race-free,")
+	fmt.Println("so speculative loads never retire a stale buffer value — invalidations")
+	fmt.Println("arriving before the acquire completes squash and re-execute them (§4).")
+}
+
+func run(model core.Model, tech core.Technique) uint64 {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.Model = model
+	cfg.Tech = tech
+	prod, cons := workload.ProducerConsumer(items)
+	s := sim.New(cfg, []*isa.Program{prod, cons})
+	cycles, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := int64(items * (items + 1) / 2)
+	if got := s.ReadCoherent(workload.SumAddr); got != want {
+		log.Fatalf("%v/%v: checksum %d, want %d", model, tech, got, want)
+	}
+	return cycles
+}

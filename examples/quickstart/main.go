@@ -1,0 +1,51 @@
+// Quickstart: build a machine, run the paper's Example 1 under sequential
+// consistency with and without the two techniques, and watch the 301-cycle
+// critical section collapse to 103 cycles.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+)
+
+func main() {
+	// A producer updating two locations inside a critical section — the
+	// paper's Example 1 (Figure 2, left).
+	b := isa.NewBuilder()
+	b.Li(isa.R2, 1)
+	b.Lock(isa.R1, 0x100)     // lock L   (miss)
+	b.StoreAbs(isa.R2, 0x110) // write A  (miss)
+	b.StoreAbs(isa.R2, 0x120) // write B  (miss)
+	b.Unlock(0x100)           // unlock L (hit)
+	b.Halt()
+	prog := b.Build()
+
+	for _, tech := range []core.Technique{
+		{},               // conventional
+		{Prefetch: true}, // §3: hardware non-binding prefetch
+		{Prefetch: true, SpecLoad: true, ReissueOpt: true}, // §3 + §4 combined
+	} {
+		// PaperConfig is the abstract machine of the paper's analysis:
+		// 1-cycle hits, 100-cycle misses, free instruction supply.
+		cfg := sim.PaperConfig()
+		cfg.Model = core.SC
+		cfg.Tech = tech
+
+		cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SC with %-8v : %3d cycles\n", tech, cycles)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper's §3.3 analysis gives 301 (conventional), 103 (prefetch),")
+	fmt.Println("and 103 (both) — prefetching pipelines the delayed writes, so the")
+	fmt.Println("strictest model runs as fast as release consistency on this code.")
+}

@@ -1,0 +1,3 @@
+module mcmsim
+
+go 1.22

@@ -1,0 +1,22 @@
+package coherence
+
+import "fmt"
+
+// DebugBusy renders all busy or queued lines for diagnostics.
+func (d *Directory) DebugBusy() []string {
+	var out []string
+	for a, l := range d.lines {
+		if l.busy || len(l.waitQ) > 0 {
+			out = append(out, fmt.Sprintf("line=%#x state=%v owner=%d ver=%d busy=%v recallTag=%d waitQ=%d",
+				a, l.state, l.owner, l.ver, l.busy, l.recallTag, len(l.waitQ)))
+		}
+	}
+	return out
+}
+
+// DebugTraceLine, when nonzero, prints every message the directory handles
+// for that line (diagnostic aid; off by default).
+var DebugTraceLine uint64
+
+// DebugTraceSink receives the trace lines (defaults to stdout via println).
+var DebugTraceSink = func(s string) { println(s) }

@@ -1,0 +1,490 @@
+// Package coherence implements the directory-based cache-coherence
+// protocols of the simulated machine: an invalidation protocol in the style
+// of the Stanford DASH directory (the paper's host architecture) and a
+// write-update protocol used by the update-vs-invalidation experiment.
+//
+// The directory is the serialization point for each line. Simple
+// transactions (grants from memory, possibly with invalidations whose acks
+// are collected by the requester, as in DASH) complete at the directory
+// instantly; transactions that must recall a dirty line from its owner mark
+// the line busy and queue subsequent requests for it.
+//
+// Every directory-state transition for a line increments the line's version
+// number, and every grant and invalidation carries the version that caused
+// it. Caches use the version to order messages that arrive while a fill is
+// pending, which resolves all protocol races without NACKs or retries.
+package coherence
+
+import (
+	"fmt"
+
+	"mcmsim/internal/memsys"
+	"mcmsim/internal/network"
+	"mcmsim/internal/stats"
+)
+
+// Protocol selects the coherence scheme.
+type Protocol uint8
+
+// Supported protocols.
+const (
+	// ProtoInvalidate is the DASH-style write-invalidate directory protocol.
+	// Both read and read-exclusive prefetches are possible (paper §3.1).
+	ProtoInvalidate Protocol = iota
+	// ProtoUpdate is a write-update protocol: writes update memory at the
+	// directory and propagate word updates to sharers. Read-exclusive
+	// prefetch is not possible (paper §3.1: servicing a write partially
+	// would make the new value visible).
+	ProtoUpdate
+)
+
+func (p Protocol) String() string {
+	if p == ProtoUpdate {
+		return "update"
+	}
+	return "invalidate"
+}
+
+// dirState is the directory's view of one line.
+type dirState uint8
+
+const (
+	dirUncached  dirState = iota // no cached copies
+	dirShared                    // one or more read-only copies
+	dirExclusive                 // exactly one dirty copy at owner
+)
+
+// dirLine is the directory entry for one line.
+type dirLine struct {
+	state   dirState
+	sharers map[network.NodeID]bool
+	owner   network.NodeID
+	ver     uint64 // bumped on every state transition
+
+	// busy recall transaction, when state changes require the owner's data.
+	busy       bool
+	recallTag  uint64
+	pendingReq *network.Message   // request being served by the recall
+	waitQ      []*network.Message // requests queued while busy
+}
+
+// Directory is a home node: it owns the coherence state (and the backing
+// memory) for the lines that map to it. A machine may interleave lines
+// across several Directory instances (DASH-style distributed memory).
+type Directory struct {
+	ID       network.NodeID
+	net      *network.Network
+	mem      *memsys.Memory
+	geom     memsys.Geometry
+	memLat   uint64 // service latency for a memory access at the home node
+	protocol Protocol
+	lines    map[uint64]*dirLine
+	Stats    *stats.Set
+
+	// MaxPerCycle bounds how many incoming messages the module services per
+	// cycle (0 = unlimited, the paper's pipelined memory assumption).
+	// Overflow waits in the ingress queue; Tick drains it.
+	MaxPerCycle int
+	ingress     []*network.Message
+}
+
+// New creates a directory attached to the network at node id.
+// memLat is the memory access latency added to each response that reads or
+// writes the backing store.
+func New(id network.NodeID, net *network.Network, mem *memsys.Memory, memLat uint64, protocol Protocol) *Directory {
+	d := &Directory{
+		ID:       id,
+		net:      net,
+		mem:      mem,
+		geom:     mem.Geometry(),
+		memLat:   memLat,
+		protocol: protocol,
+		lines:    make(map[uint64]*dirLine),
+		Stats:    stats.NewSet("directory"),
+	}
+	net.Attach(id, d)
+	return d
+}
+
+// Protocol returns the active coherence protocol.
+func (d *Directory) Protocol() Protocol { return d.protocol }
+
+func (d *Directory) line(addr uint64) *dirLine {
+	l, ok := d.lines[addr]
+	if !ok {
+		l = &dirLine{state: dirUncached, sharers: make(map[network.NodeID]bool), owner: -1}
+		d.lines[addr] = l
+	}
+	return l
+}
+
+// HandleMessage implements network.Handler. With unlimited bandwidth the
+// message is serviced on delivery; with a service bound it queues for Tick.
+func (d *Directory) HandleMessage(m *network.Message, now uint64) {
+	if d.MaxPerCycle > 0 {
+		d.ingress = append(d.ingress, m)
+		return
+	}
+	d.dispatch(m, now)
+}
+
+// Tick services up to MaxPerCycle queued messages. A no-op with unlimited
+// bandwidth. Call once per cycle right after network delivery.
+func (d *Directory) Tick(now uint64) {
+	if d.MaxPerCycle <= 0 {
+		return
+	}
+	n := d.MaxPerCycle
+	if n > len(d.ingress) {
+		n = len(d.ingress)
+	}
+	// Copy the batch before compacting: the compaction reuses the slots the
+	// batch would otherwise alias.
+	batch := append([]*network.Message(nil), d.ingress[:n]...)
+	d.ingress = d.ingress[:copy(d.ingress, d.ingress[n:])]
+	for _, m := range batch {
+		d.dispatch(m, now)
+	}
+	if n > 0 {
+		d.Stats.Counter("serviced").Add(uint64(n))
+	}
+}
+
+func (d *Directory) dispatch(m *network.Message, now uint64) {
+	if DebugTraceLine != 0 && m.Line == DebugTraceLine {
+		l := d.line(m.Line)
+		if len(m.Data) > 0 {
+			DebugTraceSink(fmt.Sprintf("dir@  data=%v", m.Data))
+		}
+		DebugTraceSink(fmt.Sprintf("dir@%d: %v from %d tag=%d ack=%d | state=%d owner=%d ver=%d busy=%v rt=%d wq=%d",
+			now, m.Type, m.Src, m.Tag, m.AckCount, l.state, l.owner, l.ver, l.busy, l.recallTag, len(l.waitQ)))
+	}
+	switch m.Type {
+	case MsgGetS, MsgGetX, MsgUpdateReq:
+		l := d.line(m.Line)
+		if l.busy {
+			l.waitQ = append(l.waitQ, m)
+			d.Stats.Counter("queued_requests").Inc()
+			return
+		}
+		d.process(l, m, now)
+	case MsgWriteBack:
+		d.handleWriteBack(m, now)
+	case network.MsgMemRead:
+		// Stenstrom NST comparator: cacheless sequenced read served at the
+		// memory module; FIFO delivery preserves each processor's program
+		// order, which is what the next-sequence-number table guarantees.
+		d.Stats.Counter("nst_reads").Inc()
+		d.net.SendAfter(&network.Message{
+			Type: network.MsgMemRdResp, Src: d.ID, Dst: m.Src,
+			Word: m.Word, Value: d.mem.ReadWord(m.Word), Tag: m.Tag,
+		}, now, d.memLat)
+	case network.MsgMemWrite:
+		d.Stats.Counter("nst_writes").Inc()
+		old := d.mem.ReadWord(m.Word)
+		newVal := m.Value
+		if m.SeqNo != 0 { // RMW flag, same encoding as UpdateReq
+			newVal = rmwKindFromWire(m.SeqNo).Apply(old, m.Value)
+		}
+		d.mem.WriteWord(m.Word, newVal)
+		d.net.SendAfter(&network.Message{
+			Type: network.MsgMemWrAck, Src: d.ID, Dst: m.Src,
+			Word: m.Word, Value: old, Tag: m.Tag,
+		}, now, d.memLat)
+	case MsgReplaceHint:
+		l := d.line(m.Line)
+		delete(l.sharers, m.Src)
+		if l.state == dirShared && len(l.sharers) == 0 {
+			l.state = dirUncached
+			l.ver++
+		}
+		d.Stats.Counter("replace_hints").Inc()
+	default:
+		panic(fmt.Sprintf("directory: unexpected message %v from %d", m.Type, m.Src))
+	}
+}
+
+// Aliases so callers read naturally; the canonical constants live in the
+// network package.
+const (
+	MsgGetS        = network.MsgGetS
+	MsgGetX        = network.MsgGetX
+	MsgWriteBack   = network.MsgWriteBack
+	MsgReplaceHint = network.MsgReplaceHint
+	MsgData        = network.MsgData
+	MsgDataEx      = network.MsgDataEx
+	MsgInv         = network.MsgInv
+	MsgInvAck      = network.MsgInvAck
+	MsgRecallShare = network.MsgRecallShare
+	MsgRecallInv   = network.MsgRecallInv
+	MsgWBAck       = network.MsgWBAck
+	MsgUpdateReq   = network.MsgUpdateReq
+	MsgUpdate      = network.MsgUpdate
+	MsgUpdateDone  = network.MsgUpdateDone
+)
+
+// process serves one request on a non-busy line. It may mark the line busy
+// (owner recall) in which case completion continues in handleWriteBack.
+func (d *Directory) process(l *dirLine, m *network.Message, now uint64) {
+	switch m.Type {
+	case MsgGetS:
+		d.processGetS(l, m, now)
+	case MsgGetX:
+		d.processGetX(l, m, now)
+	case MsgUpdateReq:
+		d.processUpdate(l, m, now)
+	default:
+		panic(fmt.Sprintf("directory: cannot process %v", m.Type))
+	}
+}
+
+func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) {
+	d.Stats.Counter("gets").Inc()
+	switch l.state {
+	case dirUncached, dirShared:
+		if l.sharers[m.Src] {
+			panic(fmt.Sprintf("directory %d: GetS from existing sharer %d line=%#x ver=%d", d.ID, m.Src, m.Line, l.ver))
+		}
+		l.state = dirShared
+		l.sharers[m.Src] = true
+		l.ver++
+		d.net.SendAfter(&network.Message{
+			Type: MsgData, Src: d.ID, Dst: m.Src,
+			Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver,
+		}, now, d.memLat)
+	case dirExclusive:
+		// Recall the dirty line from its owner; the transaction completes
+		// when the owner's WriteBack arrives.
+		d.beginRecall(l, m, MsgRecallShare, now)
+	}
+}
+
+func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) {
+	d.Stats.Counter("getx").Inc()
+	switch l.state {
+	case dirUncached, dirShared:
+		l.ver++
+		acks := 0
+		for s := range l.sharers {
+			if s == m.Src {
+				continue
+			}
+			acks++
+			d.net.Send(&network.Message{
+				Type: MsgInv, Src: d.ID, Dst: s,
+				Line: m.Line, Tag: l.ver, Requester: m.Src,
+			}, now)
+			d.Stats.Counter("invalidations").Inc()
+		}
+		for s := range l.sharers {
+			delete(l.sharers, s)
+		}
+		l.state = dirExclusive
+		l.owner = m.Src
+		d.net.SendAfter(&network.Message{
+			Type: MsgDataEx, Src: d.ID, Dst: m.Src,
+			Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: acks,
+		}, now, d.memLat)
+	case dirExclusive:
+		if l.owner == m.Src {
+			panic("directory: GetX from current owner")
+		}
+		d.beginRecall(l, m, MsgRecallInv, now)
+	}
+}
+
+// processUpdate handles a word write at the directory. Under the update
+// protocol this is the normal write path. Under the invalidation protocol it
+// is used only by cacheless agents (the experiment harness's adversary
+// writer and the NST comparator do not use it; see package agent): the write
+// is applied to memory and all cached copies are invalidated or recalled.
+func (d *Directory) processUpdate(l *dirLine, m *network.Message, now uint64) {
+	d.Stats.Counter("updates").Inc()
+	if d.protocol == ProtoInvalidate && l.state == dirExclusive {
+		// Must recall the dirty copy before memory can be written.
+		d.beginRecall(l, m, MsgRecallInv, now)
+		return
+	}
+	d.finishUpdate(l, m, now)
+}
+
+// finishUpdate applies a word write at memory and propagates it to sharers.
+// Under the invalidation protocol sharers are invalidated instead.
+func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
+	old := d.mem.ReadWord(m.Word)
+	newVal := m.Value
+	if m.SeqNo != 0 { // RMW flag: SeqNo carries 1+kind for atomic updates
+		kind := rmwKindFromWire(m.SeqNo)
+		newVal = kind.Apply(old, m.Value)
+	}
+	d.mem.WriteWord(m.Word, newVal)
+	l.ver++
+	acks := 0
+	for s := range l.sharers {
+		if s == m.Src {
+			continue
+		}
+		acks++
+		typ := MsgUpdate
+		if d.protocol == ProtoInvalidate {
+			typ = MsgInv
+		}
+		d.net.Send(&network.Message{
+			Type: typ, Src: d.ID, Dst: s,
+			Line: m.Line, Word: m.Word, Value: newVal, Tag: l.ver, Requester: m.Src,
+		}, now)
+	}
+	if d.protocol == ProtoInvalidate {
+		for s := range l.sharers {
+			delete(l.sharers, s)
+		}
+		l.state = dirUncached
+	}
+	d.net.SendAfter(&network.Message{
+		Type: MsgUpdateDone, Src: d.ID, Dst: m.Src,
+		Line: m.Line, Word: m.Word, Value: old, Tag: l.ver, AckCount: acks,
+	}, now, d.memLat)
+}
+
+// beginRecall starts an owner-recall transaction and marks the line busy.
+func (d *Directory) beginRecall(l *dirLine, m *network.Message, recall network.MsgType, now uint64) {
+	l.ver++
+	l.busy = true
+	l.recallTag = l.ver
+	l.pendingReq = m
+	d.net.Send(&network.Message{
+		Type: recall, Src: d.ID, Dst: l.owner,
+		Line: m.Line, Tag: l.ver, Requester: m.Src,
+	}, now)
+	d.Stats.Counter("recalls").Inc()
+}
+
+// handleWriteBack processes both recall responses and voluntary victim
+// writebacks, distinguished by tag.
+func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
+	l := d.line(m.Line)
+	if l.busy && m.Tag == l.recallTag {
+		// Recall response: complete the pending transaction.
+		d.mem.WriteLine(m.Line, m.Data)
+		req := l.pendingReq
+		l.pendingReq = nil
+		oldOwner := l.owner
+		switch req.Type {
+		case MsgGetS:
+			l.state = dirShared
+			if m.AckCount == 1 {
+				// The owner still holds the line, downgraded to shared; a
+				// response from a victim writeback buffer retains no copy.
+				l.sharers[oldOwner] = true
+			}
+			l.sharers[req.Src] = true
+			l.ver++
+			d.net.SendAfter(&network.Message{
+				Type: MsgData, Src: d.ID, Dst: req.Src,
+				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver,
+			}, now, d.memLat)
+		case MsgGetX:
+			l.state = dirExclusive
+			l.owner = req.Src
+			l.ver++
+			d.net.SendAfter(&network.Message{
+				Type: MsgDataEx, Src: d.ID, Dst: req.Src,
+				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
+			}, now, d.memLat)
+		case MsgUpdateReq:
+			l.state = dirUncached
+			l.owner = -1
+			d.finishUpdate(l, req, now)
+		}
+		l.busy = false
+		d.drainWaitQ(l, now)
+		return
+	}
+
+	// Voluntary writeback. Accept only if the writer is still the owner at
+	// the current version; otherwise the line has already been recalled (the
+	// recall response carried the same data) and this message is stale.
+	if !l.busy && l.state == dirExclusive && l.owner == m.Src && m.Tag == l.ver {
+		d.mem.WriteLine(m.Line, m.Data)
+		l.state = dirUncached
+		l.owner = -1
+		l.ver++
+		d.Stats.Counter("writebacks").Inc()
+	} else {
+		d.Stats.Counter("stale_writebacks").Inc()
+	}
+	d.net.Send(&network.Message{
+		Type: MsgWBAck, Src: d.ID, Dst: m.Src, Line: m.Line,
+	}, now)
+	if !l.busy {
+		d.drainWaitQ(l, now)
+	}
+}
+
+// drainWaitQ serves queued requests until the line goes busy again or the
+// queue empties.
+func (d *Directory) drainWaitQ(l *dirLine, now uint64) {
+	for !l.busy && len(l.waitQ) > 0 {
+		m := l.waitQ[0]
+		copy(l.waitQ, l.waitQ[1:])
+		l.waitQ = l.waitQ[:len(l.waitQ)-1]
+		d.process(l, m, now)
+	}
+}
+
+// Quiescent reports whether the directory has no busy lines, no queued
+// requests and an empty ingress; used by the simulator's termination check.
+func (d *Directory) Quiescent() bool {
+	if len(d.ingress) > 0 {
+		return false
+	}
+	for _, l := range d.lines {
+		if l.busy || len(l.waitQ) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StateOf returns a debug description of a line's directory state.
+func (d *Directory) StateOf(lineAddr uint64) string {
+	l, ok := d.lines[lineAddr]
+	if !ok {
+		return "uncached"
+	}
+	switch l.state {
+	case dirUncached:
+		return "uncached"
+	case dirShared:
+		return fmt.Sprintf("shared(x%d)", len(l.sharers))
+	default:
+		return fmt.Sprintf("exclusive(%d)", l.owner)
+	}
+}
+
+// rmwWireEncode encodes an RMW kind into the SeqNo field of an UpdateReq;
+// zero means "plain write".
+func rmwWireEncode(kind int) uint64 { return uint64(kind) + 1 }
+
+type rmwApplier interface{ Apply(old, src int64) int64 }
+
+// rmwKindFromWire decodes the RMW kind from an UpdateReq SeqNo.
+func rmwKindFromWire(wire uint64) wireRMW { return wireRMW(wire - 1) }
+
+// wireRMW mirrors isa.RMWKind without importing package isa (coherence sits
+// below the ISA layer). The numeric values must match isa.RMWKind.
+type wireRMW uint64
+
+// Apply mirrors isa.RMWKind.Apply for the three atomic flavours.
+func (k wireRMW) Apply(old, src int64) int64 {
+	switch k {
+	case 0: // test-and-set
+		return 1
+	case 1: // fetch-add
+		return old + src
+	case 2: // swap
+		return src
+	default:
+		return old
+	}
+}

@@ -1,0 +1,232 @@
+// Package cpu models the dynamically scheduled processor the paper builds
+// on (§4.2, Figure 3): Johnson's design with a reorder buffer providing
+// register renaming, speculative execution past unresolved conditional
+// branches via a branch target buffer, and precise interrupts through
+// in-order retirement. Memory instructions are dispatched to the load/store
+// unit of internal/core, which enforces the consistency model and
+// implements the paper's two techniques.
+//
+// The model is architectural, not structural: reservation stations are
+// folded into the reorder-buffer entries (operands are resolved by polling
+// producers), which is behaviourally equivalent and keeps the simulator
+// deterministic and simple.
+package cpu
+
+import (
+	"fmt"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/stats"
+)
+
+// Config holds the pipeline parameters.
+type Config struct {
+	FetchWidth  int    // instructions decoded per cycle
+	RetireWidth int    // maximum instructions retired per cycle
+	ROBSize     int    // reorder-buffer entries
+	ALULatency  uint64 // cycles from operands-ready to result (0 = same cycle)
+	// BranchLatency is the delay from operands-ready to branch resolution
+	// (0 = same cycle, which the paper's analytical examples assume).
+	BranchLatency uint64
+	// MispredictPenalty is the extra bubble after a branch misprediction
+	// before fetch resumes (a 1-cycle bubble always exists because fetch
+	// runs at the start of the cycle).
+	MispredictPenalty uint64
+	// RollbackPenalty is the extra bubble after a speculative-load squash.
+	RollbackPenalty uint64
+}
+
+// PaperConfig reproduces the paper's abstract machine: instruction supply,
+// ALU work and branch resolution are free, so memory access time dominates
+// exactly as in the §3.3/§4.1 cycle counts.
+func PaperConfig() Config {
+	return Config{
+		FetchWidth:  16,
+		RetireWidth: 16,
+		ROBSize:     64,
+		ALULatency:  0,
+	}
+}
+
+// RealisticConfig models a plausible early-90s superscalar: 4-wide, 32-entry
+// reorder buffer, 1-cycle ALU and branch, short rollback bubbles.
+func RealisticConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		RetireWidth:       4,
+		ROBSize:           32,
+		ALULatency:        1,
+		BranchLatency:     1,
+		MispredictPenalty: 2,
+		RollbackPenalty:   2,
+	}
+}
+
+// operand is one source of an instruction: either an immediate/committed
+// value or a reference to an in-flight producer.
+type operand struct {
+	ready    bool
+	value    int64
+	producer uint64 // ROB id, when !ready
+	reg      isa.Reg
+}
+
+type robEntry struct {
+	id    uint64
+	pc    int
+	instr isa.Instruction
+
+	src, src2 operand // ALU/branch sources; store data uses src
+
+	isMem    bool
+	executed bool // ALU computed / branch resolved
+	execAt   uint64
+	execSet  bool
+	value    int64 // result (ALU, or load value delivered by the LSU)
+	complete bool  // memory access performed
+
+	baseSent bool // base operand pushed to the LSU
+	dataSent bool // store-data operand pushed to the LSU
+
+	storeSignaled bool // StoreAtHead issued
+	predTaken     bool
+	predTarget    int
+}
+
+type ratEntry struct {
+	producer uint64
+	valid    bool
+}
+
+// Proc is one simulated processor core.
+type Proc struct {
+	ID   int
+	cfg  Config
+	prog *isa.Program
+	lsu  *core.LSU
+
+	rob    []*robEntry
+	byID   map[uint64]*robEntry
+	nextID uint64
+
+	rat     [isa.NumRegs]ratEntry
+	regfile [isa.NumRegs]int64
+
+	pc            int
+	fetchResumeAt uint64
+	haltFetched   bool
+	halted        bool
+
+	predictor map[int]uint8 // pc -> 2-bit counter, init weakly-not-taken
+
+	// HaltCycle records when the processor halted (all work drained).
+	HaltCycle uint64
+
+	Stats *stats.Set
+}
+
+// New creates a processor bound to a program and a load/store unit. It
+// registers itself as the LSU's CPU callback.
+func New(id int, cfg Config, prog *isa.Program, lsu *core.LSU) *Proc {
+	if cfg.FetchWidth <= 0 || cfg.RetireWidth <= 0 || cfg.ROBSize <= 0 {
+		panic("cpu: widths and ROB size must be positive")
+	}
+	p := &Proc{
+		ID:        id,
+		cfg:       cfg,
+		prog:      prog,
+		lsu:       lsu,
+		byID:      make(map[uint64]*robEntry),
+		predictor: make(map[int]uint8),
+		Stats:     stats.NewSet(fmt.Sprintf("cpu%d", id)),
+	}
+	lsu.SetCPU(p)
+	return p
+}
+
+// Halted reports whether the processor has retired its halt instruction and
+// drained the load/store unit.
+func (p *Proc) Halted() bool { return p.halted }
+
+// Reg returns the committed architectural value of a register, for tests
+// and examples inspecting final state.
+func (p *Proc) Reg(r isa.Reg) int64 { return p.regfile[r] }
+
+// ROBLen reports the current reorder-buffer occupancy.
+func (p *Proc) ROBLen() int { return len(p.rob) }
+
+// readReg resolves a register read at decode time against the renaming
+// state: a committed value, or a reference to the in-flight producer.
+func (p *Proc) readReg(r isa.Reg) operand {
+	if r == isa.R0 {
+		return operand{ready: true, reg: r}
+	}
+	if re := p.rat[r]; re.valid {
+		if e := p.byID[re.producer]; e != nil {
+			if v, ok := producerValue(e); ok {
+				return operand{ready: true, value: v, reg: r}
+			}
+			return operand{producer: re.producer, reg: r}
+		}
+		// Producer already committed; the architectural register holds it.
+	}
+	return operand{ready: true, value: p.regfile[r], reg: r}
+}
+
+// producerValue returns the result of a producer entry if available.
+func producerValue(e *robEntry) (int64, bool) {
+	if e.isMem {
+		if e.complete {
+			return e.value, true
+		}
+		return 0, false
+	}
+	if e.executed {
+		return e.value, true
+	}
+	return 0, false
+}
+
+// resolve re-polls an operand against the current pipeline state.
+func (p *Proc) resolve(o *operand) bool {
+	if o.ready {
+		return true
+	}
+	e := p.byID[o.producer]
+	if e == nil {
+		// Producer retired after we recorded the reference; in-order
+		// retirement guarantees the architectural register still holds its
+		// value (no intervening writer can have committed).
+		o.value = p.regfile[o.reg]
+		o.ready = true
+		return true
+	}
+	if v, ok := producerValue(e); ok {
+		o.value = v
+		o.ready = true
+		return true
+	}
+	return false
+}
+
+// ROBSnapshot renders the reorder buffer head-first: one mnemonic per
+// entry, for trace output (Figure 5 shows the reorder buffer's contents at
+// each event).
+func (p *Proc) ROBSnapshot() []string {
+	out := make([]string, 0, len(p.rob))
+	for _, e := range p.rob {
+		out = append(out, e.instr.String())
+	}
+	return out
+}
+
+// DebugHead reports the reorder-buffer head's id, mnemonic and whether it
+// is currently retirable (diagnostic aid).
+func (p *Proc) DebugHead() (uint64, string, bool) {
+	if len(p.rob) == 0 {
+		return 0, "", false
+	}
+	e := p.rob[0]
+	return e.id, e.instr.String(), p.canRetire(e)
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+// Figure1Cell is one litmus-test outcome under one model/technique.
+type Figure1Cell struct {
+	Litmus  string
+	Model   core.Model
+	Tech    core.Technique
+	Relaxed bool // the SC-forbidden outcome occurred
+	Allowed bool // the model's delay arcs permit that outcome
+	Cycles  uint64
+}
+
+// RunLitmus executes one litmus test under the given model and techniques
+// and reports whether the relaxed outcome occurred.
+func RunLitmus(l workload.Litmus, model core.Model, tech core.Technique) (Figure1Cell, error) {
+	return RunLitmusWithProtocol(l, model, tech, coherence.ProtoInvalidate)
+}
+
+// RunLitmusWithProtocol is RunLitmus under a chosen coherence protocol.
+func RunLitmusWithProtocol(l workload.Litmus, model core.Model, tech core.Technique, proto coherence.Protocol) (Figure1Cell, error) {
+	progs := l.Programs()
+	cfg := sim.PaperConfig()
+	cfg.Procs = len(progs)
+	cfg.Model = model
+	cfg.Tech = tech
+	cfg.Protocol = proto
+
+	var s *sim.System
+	if l.Warmups != nil {
+		warm := l.Warmups()
+		ws := make([]*isa.Program, len(progs))
+		for i := range ws {
+			if i < len(warm) && warm[i] != nil {
+				ws[i] = warm[i]
+			} else {
+				ws[i] = workload.Idle()
+			}
+		}
+		s = sim.New(cfg, ws)
+		if _, err := s.Run(); err != nil {
+			return Figure1Cell{}, fmt.Errorf("%s warmup: %w", l.Name, err)
+		}
+		s.LoadPrograms(progs)
+	} else {
+		s = sim.New(cfg, progs)
+	}
+	cycles, err := s.Run()
+	if err != nil {
+		return Figure1Cell{}, fmt.Errorf("%s: %w", l.Name, err)
+	}
+	litmusDetections = 0
+	for _, u := range s.LSUs {
+		litmusDetections += u.SCViolations()
+	}
+	return Figure1Cell{
+		Litmus:  l.Name,
+		Model:   model,
+		Tech:    tech,
+		Relaxed: l.Relaxed(s.ReadCoherent),
+		Allowed: l.AllowedUnder[model.String()],
+		Cycles:  cycles,
+	}, nil
+}
+
+// Figure1Matrix runs the full litmus battery across all four models,
+// conventionally and with both techniques enabled. The conventional run
+// both respects and (by construction of the tests' timing) exhibits each
+// model's permitted relaxations; the technique runs must never introduce a
+// relaxation the model forbids — that is the correctness claim of the
+// paper's detection mechanism.
+func Figure1Matrix() ([]Figure1Cell, error) {
+	var out []Figure1Cell
+	for _, l := range workload.AllLitmus() {
+		for _, m := range core.AllModels {
+			for _, t := range []core.Technique{TechConv, TechBoth} {
+				cell, err := RunLitmus(l, m, t)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestFigure2PaperCycleCounts verifies the simulator reproduces every cycle
+// count in the paper's §3.3/§4.1 analysis of Figure 2 exactly.
+func TestFigure2PaperCycleCounts(t *testing.T) {
+	want := PaperFigure2()
+	results, err := Figure2Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		w, ok := want[r.Key()]
+		if !ok {
+			t.Errorf("unexpected result key %q", r.Key())
+			continue
+		}
+		if r.Cycles != w {
+			t.Errorf("%s: got %d cycles, paper says %d", r.Key(), r.Cycles, w)
+		}
+	}
+	if len(results) != len(want) {
+		t.Errorf("got %d results, want %d", len(results), len(want))
+	}
+}
+
+// TestFigure2ExtensionShape checks the all-model extension grid: PC behaves
+// like SC on the write example (stores stay ordered), WC and both RC
+// variants behave like RC (stores pipeline after the acquire), and every
+// model converges to the same cycle count with both techniques.
+func TestFigure2ExtensionShape(t *testing.T) {
+	rows, err := Figure2GridAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]uint64{}
+	for _, r := range rows {
+		byKey[r.Key()] = r.Cycles
+	}
+	if byKey["example1/PC/conv"] != byKey["example1/SC/conv"] {
+		t.Errorf("PC example1 conv = %d, want SC's %d (stores ordered)",
+			byKey["example1/PC/conv"], byKey["example1/SC/conv"])
+	}
+	for _, m := range []string{"WC", "RCsc"} {
+		if byKey["example1/"+m+"/conv"] != byKey["example1/RC/conv"] {
+			t.Errorf("%s example1 conv = %d, want RC's %d (stores pipeline)",
+				m, byKey["example1/"+m+"/conv"], byKey["example1/RC/conv"])
+		}
+	}
+	for _, ex := range []string{"example1", "example2"} {
+		want := byKey[ex+"/SC/pf+spec"]
+		for _, m := range []string{"PC", "WC", "RCsc", "RC"} {
+			if got := byKey[ex+"/"+m+"/pf+spec"]; got != want {
+				t.Errorf("%s %s pf+spec = %d, want %d (equalized)", ex, m, got, want)
+			}
+		}
+	}
+}

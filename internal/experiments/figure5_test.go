@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mcmsim/internal/workload"
+)
+
+// TestFigure5Trace reproduces the §4.3 walkthrough and checks the paper's
+// nine milestones and the buffer semantics at the key events:
+//
+//  1. the reads issue speculatively and the writes are prefetched;
+//  2. ownership/values arrive and write B completes by merging with its
+//     exclusive prefetch;
+//  3. the invalidation for D discards load D and everything after it
+//     (load E), leaving only store C in flight;
+//  4. load D is re-fetched and reissued as a speculative load whose store
+//     tag names store C;
+//  5. load D's entry leaves the speculative-load buffer only after store C
+//     completes and its own value returns, after which E[D] completes the
+//     run.
+func TestFigure5Trace(t *testing.T) {
+	res, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := res.Trace.Events
+	find := func(desc string, from int) int {
+		for i := from; i < len(evs); i++ {
+			if strings.Contains(evs[i].Description, desc) {
+				return i
+			}
+		}
+		t.Fatalf("milestone %q not found after event %d\ntrace:\n%s", desc, from, res.Trace.String())
+		return -1
+	}
+
+	// Milestones in order.
+	i1 := find("read of A is issued", 0)
+	i2 := find("read of D is issued", i1)
+	i3 := find("value for D arrives", i2)
+	i4 := find("read of E[D] is issued", i2)
+	i5 := find("write to B is prefetched", 0)
+	i6 := find("write to C is prefetched", i5)
+	i7 := find("value for A arrives", i6)
+	i8 := find("write to B completes", i7)
+	i9 := find("speculated value for D invalidated", i8)
+	i10 := find("read of D is issued", i9) // the reissue
+	i11 := find("write to C completes", i10)
+	i12 := find("value for D arrives", i10)
+	i13 := find("value for E[D] arrives", i12)
+	_ = i3
+	_ = i4
+	_ = i13
+
+	// The speculated value for D was consumed before the squash: D was done
+	// in the spec buffer at the event before the invalidation.
+	preSquash := evs[i9-1]
+	foundD := false
+	for _, r := range preSquash.SpecBuffer {
+		if r.LoadAddr == workload.AddrD && r.Done {
+			foundD = true
+		}
+	}
+	if !foundD {
+		t.Errorf("load D not done in spec buffer before the invalidation:\n%s", res.Trace.String())
+	}
+
+	// Event 5 of the paper: after the squash only store C remains in
+	// flight; loads D and E are gone from the speculative-load buffer.
+	squash := evs[i9]
+	if len(squash.SpecBuffer) != 0 {
+		t.Errorf("spec buffer not emptied by the squash: %+v", squash.SpecBuffer)
+	}
+	sawC := false
+	for _, r := range squash.StoreBuffer {
+		if r.Addr == workload.AddrC && r.Issued && !r.Done {
+			sawC = true
+		}
+	}
+	if !sawC {
+		t.Errorf("store C not pending at the squash event: %+v", squash.StoreBuffer)
+	}
+
+	// Event 6 of the paper: the reissued load D carries store C's tag ("the
+	// load is still speculative since the previous store has not completed").
+	reissue := evs[i10]
+	tagOK := false
+	for _, r := range reissue.SpecBuffer {
+		if r.LoadAddr == workload.AddrD && r.HasTag && r.TagAddr == workload.AddrC {
+			tagOK = true
+		}
+	}
+	if !tagOK {
+		t.Errorf("reissued load D does not carry store C's tag: %+v", reissue.SpecBuffer)
+	}
+
+	// After store C completes, D's tag is nullified (paper event 8).
+	afterC := evs[i11]
+	for _, r := range afterC.SpecBuffer {
+		if r.LoadAddr == workload.AddrD && r.HasTag {
+			t.Errorf("load D still tagged after store C completed: %+v", afterC.SpecBuffer)
+		}
+	}
+
+	// Sanity on final state: all five locations ended cached as the paper's
+	// last row shows (A, D, E[D] valid; B, C exclusive).
+	last := evs[len(evs)-1]
+	for label, want := range map[string]string{
+		"A": "shared", "D": "shared", "E[D]": "shared",
+		"B": "exclusive", "C": "exclusive",
+	} {
+		if got := last.CacheState[label]; got != want {
+			t.Errorf("final cache state of %s = %q, want %q", label, got, want)
+		}
+	}
+
+	if i12 < i11 {
+		t.Log("note: paper events 7/8 order (D's value before C's ownership) — see EXPERIMENTS.md")
+	}
+}

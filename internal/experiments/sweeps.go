@@ -1,0 +1,598 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+// Row is one measurement of a sweep: a labelled configuration and its
+// cycle count plus selected rates.
+type Row struct {
+	Labels map[string]string
+	Cycles uint64
+	Extra  map[string]float64
+}
+
+func (r Row) String() string {
+	s := ""
+	for k, v := range r.Labels {
+		s += fmt.Sprintf("%s=%s ", k, v)
+	}
+	s += fmt.Sprintf("cycles=%d", r.Cycles)
+	for k, v := range r.Extra {
+		s += fmt.Sprintf(" %s=%.4f", k, v)
+	}
+	return s
+}
+
+// mixedWorkload is the standard multi-phase program set used by the
+// equalization and latency experiments: lock-protected shared updates
+// interleaved with private computation, the data-race-free style the paper
+// argues is the common case (§5).
+func mixedWorkload(nprocs int, seed int64) []*isa.Program {
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		progs[p] = workload.RandomSharing(p, nprocs, workload.EqualizationMix(seed))
+	}
+	return progs
+}
+
+// Equalization (experiment E1) measures every model under every technique
+// on the mixed workload: the paper's §5 claim is that with both techniques
+// the models' performance converges ("the performance of different
+// consistency models is equalized").
+func Equalization(nprocs int, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, m := range core.AllModels {
+		for _, t := range []core.Technique{TechConv, TechPf, TechSpec, TechBoth} {
+			cfg := sim.RealisticConfig()
+			cfg.Procs = nprocs
+			cfg.Model = m
+			cfg.Tech = t
+			s := sim.New(cfg, mixedWorkload(nprocs, seed))
+			cycles, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("equalization %v/%v: %w", m, t, err)
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"model": m.String(), "tech": t.String()},
+				Cycles: cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// LatencySweep (E2) varies the miss latency and measures SC and RC with
+// and without the techniques on the mixed workload: the gap between models
+// grows with latency conventionally and stays narrow with the techniques.
+func LatencySweep(nprocs int, seed int64, latencies []uint64) ([]Row, error) {
+	var rows []Row
+	for _, lat := range latencies {
+		for _, m := range []core.Model{core.SC, core.RC} {
+			for _, t := range []core.Technique{TechConv, TechBoth} {
+				cfg := sim.RealisticConfig().WithMissLatency(lat)
+				cfg.Procs = nprocs
+				cfg.Model = m
+				cfg.Tech = t
+				s := sim.New(cfg, mixedWorkload(nprocs, seed))
+				cycles, err := s.Run()
+				if err != nil {
+					return nil, fmt.Errorf("latency %d %v/%v: %w", lat, m, t, err)
+				}
+				rows = append(rows, Row{
+					Labels: map[string]string{
+						"miss": fmt.Sprint(lat), "model": m.String(), "tech": t.String(),
+					},
+					Cycles: cycles,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ContentionSweep (E3) varies the fraction of shared accesses and measures
+// the speculative-load squash rate and its cost under SC: §5 argues
+// invalidated speculations are rare in well-behaved programs; this shows
+// where that stops being true.
+func ContentionSweep(nprocs int, seed int64, shareFracs []float64) ([]Row, error) {
+	var rows []Row
+	for _, frac := range shareFracs {
+		cfg := sim.RealisticConfig()
+		cfg.Procs = nprocs
+		cfg.Model = core.SC
+		cfg.Tech = TechBoth
+		mix := workload.DefaultMix(seed)
+		mix.ShareFrac = frac
+		mix.Sync = false // racy sharing: worst case for speculation
+		progs := make([]*isa.Program, nprocs)
+		for p := 0; p < nprocs; p++ {
+			progs[p] = workload.RandomSharing(p, nprocs, mix)
+		}
+		s := sim.New(cfg, progs)
+		cycles, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("contention %.2f: %w", frac, err)
+		}
+		var entries, squashes, reissues uint64
+		for _, u := range s.LSUs {
+			entries += u.Stats.Counter("spec_entries").Value()
+			squashes += u.Stats.Counter("spec_squashes").Value()
+			reissues += u.Stats.Counter("spec_reissues").Value()
+		}
+		rate := 0.0
+		if entries > 0 {
+			rate = float64(squashes+reissues) / float64(entries)
+		}
+		rows = append(rows, Row{
+			Labels: map[string]string{"share": fmt.Sprintf("%.2f", frac)},
+			Cycles: cycles,
+			Extra:  map[string]float64{"squash_rate": rate, "squashes": float64(squashes), "reissues": float64(reissues)},
+		})
+	}
+	return rows, nil
+}
+
+// LookaheadSweep (E4) varies the reorder-buffer size under SC: §3.2 notes
+// that hardware prefetching is limited by the instruction lookahead window,
+// so small windows should blunt the techniques.
+func LookaheadSweep(robSizes []int) ([]Row, error) {
+	var rows []Row
+	const n = 64
+	prog := workload.ArraySweep(0, n)
+	for _, size := range robSizes {
+		for _, t := range []core.Technique{TechConv, TechBoth} {
+			cfg := sim.PaperConfig()
+			cfg.CPU.ROBSize = size
+			cfg.Model = core.SC
+			cfg.Tech = t
+			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
+			if err != nil {
+				return nil, fmt.Errorf("lookahead %d/%v: %w", size, t, err)
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"rob": fmt.Sprint(size), "tech": t.String()},
+				Cycles: cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ProtocolComparison (E5) contrasts the invalidation and update coherence
+// protocols under RC with and without prefetching: §3.1 notes read-exclusive
+// prefetch is only possible with invalidations, so the prefetch benefit on
+// write traffic disappears under the update protocol.
+func ProtocolComparison(nprocs int, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, proto := range []coherence.Protocol{coherence.ProtoInvalidate, coherence.ProtoUpdate} {
+		for _, t := range []core.Technique{TechConv, TechPf} {
+			cfg := sim.RealisticConfig()
+			cfg.Procs = nprocs
+			cfg.Model = core.RC
+			cfg.Tech = t
+			cfg.Protocol = proto
+			s := sim.New(cfg, mixedWorkload(nprocs, seed))
+			cycles, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("protocol %v/%v: %w", proto, t, err)
+			}
+			var pf uint64
+			for _, c := range s.Caches {
+				pf += c.Stats.Counter("prefetches_issued").Value()
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"protocol": proto.String(), "tech": t.String()},
+				Cycles: cycles,
+				Extra:  map[string]float64{"prefetches": float64(pf)},
+			})
+		}
+	}
+	return rows, nil
+}
+
+// sharedWriterPrograms builds the E6 workload: processor 1 warms n lines
+// shared; processor 0 then writes each of them in sequence, so every store
+// must invalidate a remote copy — the case where gaining ownership is
+// observably cheaper than performing the write everywhere.
+func sharedWriterWarmup(n int) []*isa.Program {
+	w := isa.NewBuilder()
+	for i := 0; i < n; i++ {
+		w.LoadAbs(isa.R1, int64(0x4000+i*0x10))
+	}
+	w.Halt()
+	return []*isa.Program{workload.Idle(), w.Build()}
+}
+
+func sharedWriterMain(n int) []*isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.R2, 1)
+	for i := 0; i < n; i++ {
+		b.StoreAbs(isa.R2, int64(0x4000+i*0x10))
+	}
+	b.Halt()
+	return []*isa.Program{b.Build(), workload.Idle()}
+}
+
+// AdveHillComparison (E6) measures sequential consistency conventionally,
+// with the Adve-Hill ownership optimization, and with the paper's combined
+// techniques, on a write-intensive workload with remote sharers. The paper
+// predicts the Adve-Hill gains are limited — "the latency of obtaining
+// ownership is often only slightly smaller than the latency for the write
+// to complete" — while prefetching/speculation pipeline the whole stream.
+func AdveHillComparison(nStores int) ([]Row, error) {
+	var rows []Row
+	variants := []struct {
+		name string
+		tech core.Technique
+	}{
+		{"conv", TechConv},
+		{"advehill", core.Technique{AdveHill: true}},
+		{"pf+spec", TechBoth},
+	}
+	for _, v := range variants {
+		cfg := sim.PaperConfig()
+		cfg.Procs = 2
+		cfg.Model = core.SC
+		cfg.Tech = v.tech
+		s := sim.New(cfg, sharedWriterWarmup(nStores))
+		if _, err := s.Run(); err != nil {
+			return nil, fmt.Errorf("advehill warmup: %w", err)
+		}
+		s.LoadPrograms(sharedWriterMain(nStores))
+		cycles, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("advehill %s: %w", v.name, err)
+		}
+		rows = append(rows, Row{
+			Labels: map[string]string{"impl": v.name},
+			Cycles: cycles,
+		})
+	}
+	return rows, nil
+}
+
+// StenstromComparison (E7) contrasts cached SC — conventional and with the
+// paper's techniques — against the cacheless NST scheme on a workload with
+// reuse: §6 argues disallowing caches "can severely hinder performance" —
+// every re-reference pays a full memory round trip, while cached runs hit
+// after the first pass.
+func StenstromComparison(n int) ([]Row, error) {
+	var rows []Row
+	// A reuse-heavy single-processor loop: the array is swept four times,
+	// so the cached machine hits on later passes while NST pays full
+	// latency every time.
+	b := isa.NewBuilder()
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < n; i++ {
+			b.LoadAbs(isa.R1, int64(0x10000+i))
+			b.AddI(isa.R1, isa.R1, 1)
+			b.StoreAbs(isa.R1, int64(0x10000+i))
+		}
+	}
+	b.Halt()
+	prog := b.Build()
+
+	variants := []struct {
+		name string
+		nst  bool
+		tech core.Technique
+	}{
+		{"cached-SC", false, TechConv},
+		{"cached-SC-pf+spec", false, TechBoth},
+		{"stenstrom-NST", true, TechConv},
+	}
+	for _, v := range variants {
+		cfg := sim.PaperConfig()
+		cfg.Model = core.SC
+		cfg.NST = v.nst
+		cfg.Tech = v.tech
+		cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		rows = append(rows, Row{
+			Labels: map[string]string{"impl": v.name},
+			Cycles: cycles,
+		})
+	}
+	return rows, nil
+}
+
+// SoftwarePrefetchComparison (E9) pits hardware-controlled prefetching
+// against compiler-inserted software prefetches across instruction-window
+// sizes, under SC. §6: "the prefetching window [of the hardware scheme] is
+// limited to the size of the instruction lookahead buffer, while
+// theoretically, software-controlled non-binding prefetching has an
+// arbitrarily large window" — and the two "should ... complement one
+// another".
+func SoftwarePrefetchComparison(robSizes []int) ([]Row, error) {
+	const n, dist = 64, 16
+	var rows []Row
+	variants := []struct {
+		name string
+		sw   bool
+		tech core.Technique
+	}{
+		{"none", false, TechConv},
+		{"hw", false, TechPf},
+		{"sw", true, TechConv},
+		{"hw+sw", true, TechPf},
+	}
+	for _, size := range robSizes {
+		for _, v := range variants {
+			prog := workload.ArraySweep(0, n)
+			if v.sw {
+				prog = workload.SoftwarePrefetchSweep(0, n, dist)
+			}
+			cfg := sim.PaperConfig()
+			cfg.CPU.ROBSize = size
+			cfg.Model = core.SC
+			cfg.Tech = v.tech
+			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
+			if err != nil {
+				return nil, fmt.Errorf("swpf rob=%d %s: %w", size, v.name, err)
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"rob": fmt.Sprint(size), "prefetch": v.name},
+				Cycles: cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SCDetection (E10) exercises the §6 extension (the paper's reference
+// [6]): running on release-consistent hardware with the detector on, a
+// data-race-free program certifies as sequentially consistent (zero
+// detections), while a racy program whose RC execution actually violates
+// SC is flagged.
+func SCDetection() ([]Row, error) {
+	detect := core.Technique{DetectSC: true}
+	var rows []Row
+
+	// Racy case: the ordinary message-passing litmus, which RC reorders.
+	mp := workload.MessagePassing(false)
+	cell, err := RunLitmus(mp, core.RC, detect)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{
+		Labels: map[string]string{"program": "MP-racy", "relaxed": fmt.Sprint(cell.Relaxed)},
+		Cycles: cell.Cycles,
+		Extra:  map[string]float64{"detections": float64(litmusDetections)},
+	})
+
+	// Data-race-free case: producer/consumer with release/acquire.
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.Model = core.RC
+	cfg.Tech = detect
+	prod, cons := workload.ProducerConsumer(8)
+	s := sim.New(cfg, []*isa.Program{prod, cons})
+	cycles, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	var det uint64
+	for _, u := range s.LSUs {
+		det += u.SCViolations()
+	}
+	rows = append(rows, Row{
+		Labels: map[string]string{"program": "producer-consumer-DRF", "relaxed": "false"},
+		Cycles: cycles,
+		Extra:  map[string]float64{"detections": float64(det)},
+	})
+	return rows, nil
+}
+
+// litmusDetections carries the detector count out of RunLitmus for the
+// SCDetection experiment (set on every RunLitmus call).
+var litmusDetections uint64
+
+// DetectionPolicyComparison (E11) ablates the two detection mechanisms of
+// §4.1 under SC with both techniques: the implemented snooping policy that
+// conservatively squashes on any matching coherence transaction (footnote
+// 2: false sharing and same-value writes included), against the
+// repeat-and-compare alternative ("repeat the access when the consistency
+// model would have allowed it to proceed and check the return value").
+// False sharing is where they diverge: the re-read confirms the word and
+// saves the rollback, at the price of a second cache access.
+func DetectionPolicyComparison(nprocs, writes int) ([]Row, error) {
+	var rows []Row
+	// Both workloads hammer one 4-word line. In the false-sharing variant
+	// each processor writes its own word and reads a word nobody writes:
+	// every read is invalidated by a neighbour's write to the same line but
+	// the value never changes, so revalidation always confirms. In the
+	// true-sharing variant everybody reads the word processor 0 keeps
+	// changing, so revalidation fails and the policies converge.
+	buildLine := func(readWord int64, trueSharing bool) []*isa.Program {
+		ps := make([]*isa.Program, nprocs)
+		for p := 0; p < nprocs; p++ {
+			b := isa.NewBuilder()
+			for i := 0; i < writes; i++ {
+				if !trueSharing || p == 0 {
+					b.Li(isa.R1, int64(p*100+i+1))
+					b.StoreAbs(isa.R1, 0x4000+int64(p))
+				}
+				// A cold private miss holds the speculative-load buffer
+				// open so the following shared read stays speculative long
+				// enough for remote writes to hit its window.
+				b.LoadAbs(isa.R3, int64(0x20000+p*0x2000+i*0x40))
+				b.LoadAbs(isa.R2, 0x4000+readWord)
+			}
+			b.Halt()
+			ps[p] = b.Build()
+		}
+		return ps
+	}
+	workloads := []struct {
+		name  string
+		progs func() []*isa.Program
+	}{
+		{"false-sharing", func() []*isa.Program { return buildLine(3, false) }},
+		{"true-sharing", func() []*isa.Program { return buildLine(0, true) }},
+	}
+	policies := []struct {
+		name string
+		tech core.Technique
+	}{
+		{"conservative", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+		{"revalidate", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true, Revalidate: true}},
+	}
+	for _, wl := range workloads {
+		for _, pol := range policies {
+			cfg := sim.RealisticConfig()
+			cfg.Procs = nprocs
+			cfg.Model = core.SC
+			cfg.Tech = pol.tech
+			cfg.LineWords = 4
+			s := sim.New(cfg, wl.progs())
+			cycles, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("detection %s/%s: %w", wl.name, pol.name, err)
+			}
+			var squashes, revalOK, revalFail uint64
+			for _, u := range s.LSUs {
+				squashes += u.Stats.Counter("spec_squashes").Value()
+				revalOK += u.Stats.Counter("revalidations_ok").Value()
+				revalFail += u.Stats.Counter("revalidations_failed").Value()
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"workload": wl.name, "policy": pol.name},
+				Cycles: cycles,
+				Extra: map[string]float64{
+					"squashes": float64(squashes),
+					"reval_ok": float64(revalOK),
+				},
+			})
+			_ = revalFail
+		}
+	}
+	return rows, nil
+}
+
+// BandwidthComparison (E12) measures memory-module pressure: once the
+// techniques let every processor stream requests, a single bounded-service
+// home module saturates and interleaving lines across several modules
+// restores the bandwidth — the scalability dimension of the DASH-style
+// distributed memory the paper's host machine has (and the reason
+// Stenstrom's centralized NST table "is not scalable", §6).
+func BandwidthComparison(nprocs int) ([]Row, error) {
+	const lines = 64
+	var rows []Row
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		// Disjoint streaming misses: proc p sweeps its own line range.
+		b := isa.NewBuilder()
+		for i := 0; i < lines; i++ {
+			b.LoadAbs(isa.R1, int64(0x100000+p*0x10000+i*4))
+		}
+		b.Halt()
+		progs[p] = b.Build()
+	}
+	for _, modules := range []int{1, 4} {
+		for _, bw := range []int{1, 0} {
+			cfg := sim.PaperConfig()
+			cfg.Procs = nprocs
+			cfg.LineWords = 4
+			cfg.Model = core.SC
+			cfg.Tech = TechBoth
+			cfg.MemModules = modules
+			cfg.DirBandwidth = bw
+			s := sim.New(cfg, progs)
+			cycles, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("bandwidth m=%d bw=%d: %w", modules, bw, err)
+			}
+			bwLabel := fmt.Sprint(bw)
+			if bw == 0 {
+				bwLabel = "inf"
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"modules": fmt.Sprint(modules), "bw": bwLabel},
+				Cycles: cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// MSHRSweep (E13) varies the number of lockup-free-cache MSHRs under SC
+// with both techniques: §3.2/§4.1 require "a high-bandwidth pipelined
+// memory system, including lockup-free caches, to sustain several
+// outstanding requests" — with a single MSHR the techniques collapse to
+// nearly conventional performance.
+func MSHRSweep(mshrs []int) ([]Row, error) {
+	const n = 64
+	var rows []Row
+	prog := workload.ArraySweep(0, n)
+	for _, m := range mshrs {
+		for _, t := range []core.Technique{TechConv, TechBoth} {
+			cfg := sim.PaperConfig()
+			cfg.Cache.MaxMSHRs = m
+			cfg.Model = core.SC
+			cfg.Tech = t
+			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
+			if err != nil {
+				return nil, fmt.Errorf("mshr %d/%v: %w", m, t, err)
+			}
+			rows = append(rows, Row{
+				Labels: map[string]string{"mshrs": fmt.Sprint(m), "tech": t.String()},
+				Cycles: cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ReissueAblation (E14) isolates §4.2's second-case optimization: when a
+// coherence transaction matches a speculative load that has NOT yet
+// completed, "only the speculative load needs to be reissued, since the
+// instructions following it have not yet used an incorrect value". Without
+// the optimization every match flushes the pipeline conservatively.
+func ReissueAblation(nprocs int, seed int64) ([]Row, error) {
+	var rows []Row
+	mix := workload.DefaultMix(seed)
+	mix.ShareFrac = 0.5
+	mix.Sync = false // racy sharing keeps lines bouncing mid-flight
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		progs[p] = workload.RandomSharing(p, nprocs, mix)
+	}
+	variants := []struct {
+		name string
+		tech core.Technique
+	}{
+		{"flush-always", core.Technique{Prefetch: true, SpecLoad: true}},
+		{"reissue-opt", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+	}
+	for _, v := range variants {
+		cfg := sim.RealisticConfig()
+		cfg.Procs = nprocs
+		cfg.Model = core.SC
+		cfg.Tech = v.tech
+		s := sim.New(cfg, progs)
+		cycles, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("reissue %s: %w", v.name, err)
+		}
+		var squashes, reissues uint64
+		for _, u := range s.LSUs {
+			squashes += u.Stats.Counter("spec_squashes").Value()
+			reissues += u.Stats.Counter("spec_reissues").Value()
+		}
+		rows = append(rows, Row{
+			Labels: map[string]string{"policy": v.name},
+			Cycles: cycles,
+			Extra:  map[string]float64{"flushes": float64(squashes), "reissues": float64(reissues)},
+		})
+	}
+	return rows, nil
+}

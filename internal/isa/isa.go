@@ -1,0 +1,285 @@
+// Package isa defines the small RISC-like instruction set executed by the
+// simulated processors, along with a convenience builder for constructing
+// programs.
+//
+// The instruction set is deliberately minimal: the paper's techniques concern
+// memory accesses, so the ISA provides loads, stores, synchronizing variants
+// (acquire loads, release stores, atomic read-modify-writes), simple integer
+// ALU operations and conditional branches. Addresses are word granular.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. R0 is hardwired to zero, as in
+// MIPS. There are 32 architectural registers.
+type Reg uint8
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+// Named registers for readability in workload code.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcode values.
+const (
+	OpNop Op = iota
+
+	// Memory operations. Effective address = value(Base) + Imm.
+	OpLoad    // Dst = mem[Base+Imm]
+	OpStore   // mem[Base+Imm] = value(Src)
+	OpAcquire // acquire load: Dst = mem[Base+Imm], synchronization read
+	OpRelease // release store: mem[Base+Imm] = value(Src), synchronization write
+	OpRMW     // atomic read-modify-write (acquire): Dst = old, new = f(old, Src)
+
+	// Software prefetches (paper §6: software-controlled non-binding
+	// prefetching a la Porterfield/Mowry/Gharachorloo). Non-binding and
+	// non-faulting: they bring the line toward the cache and retire
+	// immediately; the window is wherever the compiler put them.
+	OpPrefetch   // prefetch mem[Base+Imm] shared
+	OpPrefetchEx // prefetch mem[Base+Imm] exclusive
+
+	// ALU operations: Dst = Src op Src2, or Dst = Src op Imm for *I forms.
+	OpAdd
+	OpAddI
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpSlt  // Dst = 1 if value(Src) < value(Src2) else 0
+	OpSltI // Dst = 1 if value(Src) < Imm else 0
+
+	// Control flow. Branch target is an absolute instruction index (Imm).
+	OpBeqz // branch to Imm if value(Src) == 0
+	OpBnez // branch to Imm if value(Src) != 0
+	OpJmp  // unconditional jump to Imm
+
+	// Halt stops the processor.
+	OpHalt
+)
+
+// RMWKind selects the atomic operation performed by OpRMW.
+type RMWKind uint8
+
+// Atomic read-modify-write flavours.
+const (
+	RMWTestAndSet RMWKind = iota // old = mem; mem = 1
+	RMWFetchAdd                  // old = mem; mem = old + value(Src)
+	RMWSwap                      // old = mem; mem = value(Src)
+)
+
+func (k RMWKind) String() string {
+	switch k {
+	case RMWTestAndSet:
+		return "tas"
+	case RMWFetchAdd:
+		return "fadd"
+	case RMWSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("rmw(%d)", uint8(k))
+	}
+}
+
+// Apply computes the new memory value for the RMW given the old value and
+// the source operand.
+func (k RMWKind) Apply(old, src int64) int64 {
+	switch k {
+	case RMWTestAndSet:
+		return 1
+	case RMWFetchAdd:
+		return old + src
+	case RMWSwap:
+		return src
+	default:
+		return old
+	}
+}
+
+// Instruction is a single decoded instruction. The zero value is a Nop.
+type Instruction struct {
+	Op   Op
+	Dst  Reg     // destination register (loads, ALU, RMW old value)
+	Src  Reg     // first source (store data, ALU lhs, branch condition, RMW operand)
+	Src2 Reg     // second source (ALU rhs)
+	Base Reg     // base register for memory effective address
+	Imm  int64   // immediate: address offset, ALU immediate, or branch target
+	RMW  RMWKind // atomic flavour when Op == OpRMW
+}
+
+// IsMemory reports whether the instruction accesses memory.
+func (in Instruction) IsMemory() bool {
+	switch in.Op {
+	case OpLoad, OpStore, OpAcquire, OpRelease, OpRMW, OpPrefetch, OpPrefetchEx:
+		return true
+	}
+	return false
+}
+
+// IsPrefetch reports whether the instruction is a software prefetch.
+func (in Instruction) IsPrefetch() bool {
+	return in.Op == OpPrefetch || in.Op == OpPrefetchEx
+}
+
+// IsLoad reports whether the instruction performs a memory read that binds a
+// register (OpRMW reads memory but is classified separately).
+func (in Instruction) IsLoad() bool {
+	return in.Op == OpLoad || in.Op == OpAcquire
+}
+
+// IsStore reports whether the instruction performs a memory write
+// (OpRMW writes memory but is classified separately).
+func (in Instruction) IsStore() bool {
+	return in.Op == OpStore || in.Op == OpRelease
+}
+
+// IsSync reports whether the instruction is a synchronization access
+// (acquire, release, or atomic read-modify-write).
+func (in Instruction) IsSync() bool {
+	switch in.Op {
+	case OpAcquire, OpRelease, OpRMW:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a conditional branch or jump.
+func (in Instruction) IsBranch() bool {
+	switch in.Op {
+	case OpBeqz, OpBnez, OpJmp:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction produces a register result.
+func (in Instruction) WritesReg() bool {
+	switch in.Op {
+	case OpLoad, OpAcquire, OpRMW, OpAdd, OpAddI, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSlt, OpSltI:
+		return in.Dst != R0
+	}
+	return false
+}
+
+// String renders the instruction in a compact assembly-like syntax.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpLoad:
+		return fmt.Sprintf("ld   r%d, %d(r%d)", in.Dst, in.Imm, in.Base)
+	case OpStore:
+		return fmt.Sprintf("st   r%d, %d(r%d)", in.Src, in.Imm, in.Base)
+	case OpAcquire:
+		return fmt.Sprintf("ld.acq r%d, %d(r%d)", in.Dst, in.Imm, in.Base)
+	case OpRelease:
+		return fmt.Sprintf("st.rel r%d, %d(r%d)", in.Src, in.Imm, in.Base)
+	case OpRMW:
+		return fmt.Sprintf("rmw.%s r%d, r%d, %d(r%d)", in.RMW, in.Dst, in.Src, in.Imm, in.Base)
+	case OpPrefetch:
+		return fmt.Sprintf("pf   %d(r%d)", in.Imm, in.Base)
+	case OpPrefetchEx:
+		return fmt.Sprintf("pf.x %d(r%d)", in.Imm, in.Base)
+	case OpAdd:
+		return fmt.Sprintf("add  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpAddI:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Dst, in.Src, in.Imm)
+	case OpSub:
+		return fmt.Sprintf("sub  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpMul:
+		return fmt.Sprintf("mul  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpAnd:
+		return fmt.Sprintf("and  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpOr:
+		return fmt.Sprintf("or   r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpXor:
+		return fmt.Sprintf("xor  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpSlt:
+		return fmt.Sprintf("slt  r%d, r%d, r%d", in.Dst, in.Src, in.Src2)
+	case OpSltI:
+		return fmt.Sprintf("slti r%d, r%d, %d", in.Dst, in.Src, in.Imm)
+	case OpBeqz:
+		return fmt.Sprintf("beqz r%d, @%d", in.Src, in.Imm)
+	case OpBnez:
+		return fmt.Sprintf("bnez r%d, @%d", in.Src, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp  @%d", in.Imm)
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(in.Op))
+	}
+}
+
+// Program is a sequence of instructions for one processor. Instruction
+// indices serve as program counters.
+type Program struct {
+	Instrs []Instruction
+	// Labels maps symbolic names to instruction indices; populated by the
+	// Builder, useful for debugging and trace output.
+	Labels map[string]int
+}
+
+// Len returns the number of instructions in the program.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// At returns the instruction at pc. Out-of-range PCs decode as Halt so a
+// runaway processor stops rather than wrapping.
+func (p *Program) At(pc int) Instruction {
+	if pc < 0 || pc >= len(p.Instrs) {
+		return Instruction{Op: OpHalt}
+	}
+	return p.Instrs[pc]
+}
+
+// Disassemble renders the whole program with instruction indices and labels.
+func (p *Program) Disassemble() string {
+	rev := make(map[int][]string)
+	for name, idx := range p.Labels {
+		rev[idx] = append(rev[idx], name)
+	}
+	out := ""
+	for i, in := range p.Instrs {
+		for _, name := range rev[i] {
+			out += name + ":\n"
+		}
+		out += fmt.Sprintf("  %3d: %s\n", i, in)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package memsys provides the flat shared-memory storage backing the
+// directory, plus the line-geometry helper shared by the cache, coherence
+// and consistency layers.
+//
+// Addresses are word addresses (one 64-bit value per address). Lines group
+// LineWords consecutive words; coherence state is kept per line.
+package memsys
+
+import "fmt"
+
+// Geometry describes the line size of the memory system. LineWords must be a
+// power of two.
+type Geometry struct {
+	LineWords uint64
+}
+
+// NewGeometry validates and returns a Geometry.
+func NewGeometry(lineWords uint64) Geometry {
+	if lineWords == 0 || lineWords&(lineWords-1) != 0 {
+		panic(fmt.Sprintf("memsys: line words must be a power of two, got %d", lineWords))
+	}
+	return Geometry{LineWords: lineWords}
+}
+
+// LineOf returns the line-aligned address containing addr.
+func (g Geometry) LineOf(addr uint64) uint64 { return addr &^ (g.LineWords - 1) }
+
+// Offset returns the word offset of addr within its line.
+func (g Geometry) Offset(addr uint64) uint64 { return addr & (g.LineWords - 1) }
+
+// SameLine reports whether two word addresses share a line (the false-sharing
+// predicate that footnote 2 of the paper discusses).
+func (g Geometry) SameLine(a, b uint64) bool { return g.LineOf(a) == g.LineOf(b) }
+
+// Memory is the flat word-addressed backing store. Untouched words read as
+// zero. Memory is not safe for concurrent use; the simulator is
+// single-goroutine.
+type Memory struct {
+	geom  Geometry
+	words map[uint64]int64
+}
+
+// NewMemory creates an empty memory with the given geometry.
+func NewMemory(geom Geometry) *Memory {
+	return &Memory{geom: geom, words: make(map[uint64]int64)}
+}
+
+// Geometry returns the memory's line geometry.
+func (m *Memory) Geometry() Geometry { return m.geom }
+
+// ReadWord returns the value at a word address.
+func (m *Memory) ReadWord(addr uint64) int64 { return m.words[addr] }
+
+// WriteWord stores a value at a word address.
+func (m *Memory) WriteWord(addr uint64, v int64) {
+	if v == 0 {
+		// Keep the map sparse: zero is the default.
+		delete(m.words, addr)
+		return
+	}
+	m.words[addr] = v
+}
+
+// ReadLine returns a fresh copy of the line containing addr.
+func (m *Memory) ReadLine(addr uint64) []int64 {
+	base := m.geom.LineOf(addr)
+	line := make([]int64, m.geom.LineWords)
+	for i := uint64(0); i < m.geom.LineWords; i++ {
+		line[i] = m.words[base+i]
+	}
+	return line
+}
+
+// WriteLine stores a full line at the line containing addr. The data slice
+// must have exactly LineWords entries.
+func (m *Memory) WriteLine(addr uint64, data []int64) {
+	if uint64(len(data)) != m.geom.LineWords {
+		panic(fmt.Sprintf("memsys: WriteLine with %d words, line is %d", len(data), m.geom.LineWords))
+	}
+	base := m.geom.LineOf(addr)
+	for i := uint64(0); i < m.geom.LineWords; i++ {
+		m.WriteWord(base+i, data[i])
+	}
+}
+
+// Snapshot returns a copy of all non-zero words, for end-of-run verification
+// (the property tests compare final memory across configurations).
+func (m *Memory) Snapshot() map[uint64]int64 {
+	out := make(map[uint64]int64, len(m.words))
+	for k, v := range m.words {
+		out[k] = v
+	}
+	return out
+}

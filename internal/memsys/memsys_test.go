@@ -1,0 +1,158 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryLineMath(t *testing.T) {
+	g := NewGeometry(4)
+	cases := []struct {
+		addr, line, off uint64
+	}{
+		{0, 0, 0},
+		{3, 0, 3},
+		{4, 4, 0},
+		{7, 4, 3},
+		{0x1002, 0x1000, 2},
+	}
+	for _, c := range cases {
+		if got := g.LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.addr, got, c.line)
+		}
+		if got := g.Offset(c.addr); got != c.off {
+			t.Errorf("Offset(%#x) = %d, want %d", c.addr, got, c.off)
+		}
+	}
+}
+
+func TestGeometrySingleWordLines(t *testing.T) {
+	g := NewGeometry(1)
+	if g.LineOf(42) != 42 || g.Offset(42) != 0 {
+		t.Error("one-word lines must be identity-mapped")
+	}
+	if g.SameLine(1, 2) {
+		t.Error("distinct words must not share one-word lines")
+	}
+}
+
+func TestGeometryRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []uint64{0, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGeometry(%d) must panic", n)
+				}
+			}()
+			NewGeometry(n)
+		}()
+	}
+}
+
+// TestGeometryDecomposition property: addr == LineOf(addr) + Offset(addr)
+// and SameLine is consistent with LineOf, for every line size.
+func TestGeometryDecomposition(t *testing.T) {
+	for _, words := range []uint64{1, 2, 4, 8, 16} {
+		g := NewGeometry(words)
+		f := func(a, b uint64) bool {
+			if g.LineOf(a)+g.Offset(a) != a {
+				return false
+			}
+			if g.Offset(a) >= words {
+				return false
+			}
+			return g.SameLine(a, b) == (g.LineOf(a) == g.LineOf(b))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("words=%d: %v", words, err)
+		}
+	}
+}
+
+func TestMemoryReadWriteWord(t *testing.T) {
+	m := NewMemory(NewGeometry(4))
+	if m.ReadWord(100) != 0 {
+		t.Error("untouched word must read 0")
+	}
+	m.WriteWord(100, 42)
+	if m.ReadWord(100) != 42 {
+		t.Error("write not visible")
+	}
+	m.WriteWord(100, 0)
+	if m.ReadWord(100) != 0 {
+		t.Error("zero write not visible")
+	}
+	if len(m.Snapshot()) != 0 {
+		t.Error("zero writes must keep the snapshot sparse")
+	}
+}
+
+func TestMemoryLineRoundTrip(t *testing.T) {
+	m := NewMemory(NewGeometry(4))
+	m.WriteLine(8, []int64{1, 2, 3, 4})
+	line := m.ReadLine(10) // within the same line
+	for i, want := range []int64{1, 2, 3, 4} {
+		if line[i] != want {
+			t.Errorf("line[%d] = %d, want %d", i, line[i], want)
+		}
+	}
+	if m.ReadWord(9) != 2 {
+		t.Error("word view inconsistent with line view")
+	}
+}
+
+func TestMemoryReadLineIsCopy(t *testing.T) {
+	m := NewMemory(NewGeometry(2))
+	m.WriteLine(0, []int64{5, 6})
+	line := m.ReadLine(0)
+	line[0] = 99
+	if m.ReadWord(0) != 5 {
+		t.Error("mutating a read line must not affect memory")
+	}
+}
+
+func TestMemoryWriteLineWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short WriteLine must panic")
+		}
+	}()
+	NewMemory(NewGeometry(4)).WriteLine(0, []int64{1})
+}
+
+// TestMemoryWordLineConsistency property: after arbitrary word writes,
+// ReadLine agrees with ReadWord for every word of every touched line.
+func TestMemoryWordLineConsistency(t *testing.T) {
+	g := NewGeometry(4)
+	f := func(writes []struct {
+		A uint16
+		V int64
+	}) bool {
+		m := NewMemory(g)
+		for _, w := range writes {
+			m.WriteWord(uint64(w.A), w.V)
+		}
+		for _, w := range writes {
+			line := m.ReadLine(uint64(w.A))
+			for i := uint64(0); i < g.LineWords; i++ {
+				if line[i] != m.ReadWord(g.LineOf(uint64(w.A))+i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	m := NewMemory(NewGeometry(1))
+	m.WriteWord(1, 10)
+	snap := m.Snapshot()
+	m.WriteWord(1, 20)
+	if snap[1] != 10 {
+		t.Error("snapshot must be decoupled from later writes")
+	}
+}

@@ -1,0 +1,215 @@
+// Package network models the interconnection network of the simulated
+// multiprocessor. The paper's host (the Stanford DASH prototype) uses a mesh;
+// here the network is abstracted to a deterministic point-to-point transport
+// with a configurable one-way latency, which is what the paper's analytical
+// cycle counts assume.
+//
+// Delivery is deterministic: messages are delivered in (deliveryTime,
+// sequence-number) order, which also guarantees FIFO ordering between any
+// source/destination pair since every message experiences the same latency.
+package network
+
+import "container/heap"
+
+// NodeID identifies an endpoint attached to the network: processor caches
+// occupy IDs 0..P-1 and directory/memory modules occupy subsequent IDs by
+// convention (the network itself imposes no structure on IDs).
+type NodeID int
+
+// MsgType enumerates coherence and memory message types carried by the
+// network. The invalidation protocol, the update protocol and the cacheless
+// NST comparator each use a subset.
+type MsgType uint8
+
+// Message types. An upgrade request has no distinct type: a writer holding
+// a shared copy sends a plain GetX (the directory skips invalidating the
+// requester), which removes a whole class of upgrade/invalidate races.
+const (
+	// Invalidation-protocol requests (cache -> directory).
+	MsgGetS        MsgType = iota // read miss: request line in shared state
+	MsgGetX                       // write/RMW miss or upgrade: request line exclusively
+	MsgWriteBack                  // victim writeback or recall response (data)
+	MsgReplaceHint                // replaced a clean shared line (no data)
+
+	// Invalidation-protocol responses/forwards.
+	MsgData        // directory -> cache: line data, shared grant
+	MsgDataEx      // directory -> cache: line data, exclusive grant (AckCount invalidations pending)
+	MsgInv         // directory -> sharer: invalidate; ack to Requester
+	MsgInvAck      // sharer -> requester: invalidation done
+	MsgRecallShare // directory -> owner: downgrade to shared, send data back
+	MsgRecallInv   // directory -> owner: invalidate, send data back
+	MsgWBAck       // directory -> cache: voluntary writeback accepted
+
+	// Update-protocol messages.
+	MsgUpdateReq  // writer cache -> directory: write-through word update
+	MsgUpdate     // directory -> sharer: word update; ack to Requester
+	MsgUpdateAck  // sharer -> writer: update applied
+	MsgUpdateDone // directory -> writer: memory updated (AckCount sharer acks pending)
+
+	// Cacheless memory-side ordering (Stenstrom NST comparator).
+	MsgMemRead   // processor -> memory module: sequenced read
+	MsgMemWrite  // processor -> memory module: sequenced write
+	MsgMemRdResp // memory module -> processor: read data
+	MsgMemWrAck  // memory module -> processor: write performed
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgGetS: "GetS", MsgGetX: "GetX",
+	MsgWriteBack: "WriteBack", MsgReplaceHint: "ReplaceHint",
+	MsgData: "Data", MsgDataEx: "DataEx",
+	MsgInv: "Inv", MsgInvAck: "InvAck",
+	MsgRecallShare: "RecallShare", MsgRecallInv: "RecallInv",
+	MsgWBAck:     "WBAck",
+	MsgUpdateReq: "UpdateReq", MsgUpdate: "Update",
+	MsgUpdateAck: "UpdateAck", MsgUpdateDone: "UpdateDone",
+	MsgMemRead: "MemRead", MsgMemWrite: "MemWrite",
+	MsgMemRdResp: "MemRdResp", MsgMemWrAck: "MemWrAck",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return "Msg(?)"
+}
+
+// Message is one packet in flight. Fields beyond Type/Src/Dst are used as
+// each message type requires; unused fields are zero.
+type Message struct {
+	Type MsgType
+	Src  NodeID
+	Dst  NodeID
+
+	Line      uint64  // line-aligned word address the message concerns
+	Word      uint64  // word address for word-granular updates
+	Data      []int64 // line data payload (Data/DataEx/WriteBack)
+	Value     int64   // single-word payload (updates, NST reads/writes)
+	AckCount  int     // invalidation/update acks the requester must collect
+	Requester NodeID  // node acks should be sent to (Inv/Update forwards)
+	SeqNo     uint64  // per-processor sequence number (NST comparator)
+	Tag       uint64  // opaque request tag echoed in responses
+
+	seq      uint64 // global arbitration order, assigned by Send
+	deliver  uint64 // delivery cycle
+	heapIdx  int
+	enqueued bool
+}
+
+// Handler receives delivered messages. Endpoints (caches, directories,
+// memory modules) implement Handler and register with Attach.
+type Handler interface {
+	HandleMessage(m *Message, now uint64)
+}
+
+// Network is the deterministic transport. It is not safe for concurrent use;
+// the simulator is single-goroutine by design (determinism first, use
+// multiple Systems for throughput).
+type Network struct {
+	latency   uint64
+	endpoints map[NodeID]Handler
+	q         msgHeap
+	nextSeq   uint64
+
+	// MessagesSent counts every Send for statistics.
+	MessagesSent uint64
+	// HopsByType counts sends per message type.
+	HopsByType map[MsgType]uint64
+}
+
+// New creates a network with the given one-way latency in cycles.
+func New(latency uint64) *Network {
+	return &Network{
+		latency:    latency,
+		endpoints:  make(map[NodeID]Handler),
+		HopsByType: make(map[MsgType]uint64),
+	}
+}
+
+// Latency returns the configured one-way latency.
+func (n *Network) Latency() uint64 { return n.latency }
+
+// Attach registers an endpoint handler for a node ID. Attaching the same ID
+// twice replaces the previous handler.
+func (n *Network) Attach(id NodeID, h Handler) { n.endpoints[id] = h }
+
+// Send enqueues a message for delivery at now + latency.
+func (n *Network) Send(m *Message, now uint64) {
+	n.SendAt(m, now+n.latency)
+}
+
+// SendAfter enqueues a message for delivery at now + latency + extra. The
+// extra delay models service time at the sender (e.g. the directory's memory
+// access) without a separate event queue.
+func (n *Network) SendAfter(m *Message, now, extra uint64) {
+	n.SendAt(m, now+n.latency+extra)
+}
+
+// SendAt enqueues a message for delivery at the absolute cycle deliver.
+func (n *Network) SendAt(m *Message, deliver uint64) {
+	if m.enqueued {
+		panic("network: message enqueued twice")
+	}
+	m.enqueued = true
+	m.deliver = deliver
+	m.seq = n.nextSeq
+	n.nextSeq++
+	n.MessagesSent++
+	n.HopsByType[m.Type]++
+	heap.Push(&n.q, m)
+}
+
+// Deliver hands every message due at or before now to its destination
+// handler, in deterministic order. Handlers may send new messages during
+// delivery; those are delivered in a later cycle because latency >= 1.
+func (n *Network) Deliver(now uint64) {
+	for n.q.Len() > 0 && n.q[0].deliver <= now {
+		m := heap.Pop(&n.q).(*Message)
+		m.enqueued = false
+		h, ok := n.endpoints[m.Dst]
+		if !ok {
+			panic("network: message to unattached node")
+		}
+		h.HandleMessage(m, now)
+	}
+}
+
+// Pending reports the number of undelivered messages; the simulator uses it
+// to detect quiescence.
+func (n *Network) Pending() int { return n.q.Len() }
+
+// NextDelivery returns the earliest pending delivery cycle, or ok=false when
+// the network is empty. The simulator can skip idle cycles with it.
+func (n *Network) NextDelivery() (cycle uint64, ok bool) {
+	if n.q.Len() == 0 {
+		return 0, false
+	}
+	return n.q[0].deliver, true
+}
+
+// msgHeap orders messages by (deliver, seq).
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].deliver != h[j].deliver {
+		return h[i].deliver < h[j].deliver
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *msgHeap) Push(x any) {
+	m := x.(*Message)
+	m.heapIdx = len(*h)
+	*h = append(*h, m)
+}
+func (h *msgHeap) Pop() any {
+	old := *h
+	m := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return m
+}

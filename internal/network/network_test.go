@@ -1,0 +1,183 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type collector struct {
+	got []*Message
+	at  []uint64
+}
+
+func (c *collector) HandleMessage(m *Message, now uint64) {
+	c.got = append(c.got, m)
+	c.at = append(c.at, now)
+}
+
+func TestDeliveryAfterLatency(t *testing.T) {
+	n := New(10)
+	dst := &collector{}
+	n.Attach(1, dst)
+	n.Send(&Message{Type: MsgGetS, Src: 0, Dst: 1, Line: 0x40}, 5)
+	for cyc := uint64(0); cyc < 15; cyc++ {
+		n.Deliver(cyc)
+		if cyc < 15 && len(dst.got) != 0 {
+			t.Fatalf("message delivered early at %d", cyc)
+		}
+	}
+	n.Deliver(15)
+	if len(dst.got) != 1 || dst.at[0] != 15 {
+		t.Fatalf("message not delivered at 15: %v", dst.at)
+	}
+}
+
+func TestSendAfterAddsServiceTime(t *testing.T) {
+	n := New(10)
+	dst := &collector{}
+	n.Attach(1, dst)
+	n.SendAfter(&Message{Type: MsgData, Dst: 1}, 0, 7)
+	n.Deliver(16)
+	if len(dst.got) != 0 {
+		t.Fatal("delivered before latency+service")
+	}
+	n.Deliver(17)
+	if len(dst.got) != 1 {
+		t.Fatal("not delivered at latency+service")
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	n := New(5)
+	dst := &collector{}
+	n.Attach(1, dst)
+	for i := 0; i < 10; i++ {
+		n.Send(&Message{Type: MsgGetS, Dst: 1, Tag: uint64(i)}, uint64(i))
+	}
+	n.Deliver(100)
+	if len(dst.got) != 10 {
+		t.Fatalf("delivered %d of 10", len(dst.got))
+	}
+	for i, m := range dst.got {
+		if m.Tag != uint64(i) {
+			t.Fatalf("message %d has tag %d: FIFO violated", i, m.Tag)
+		}
+	}
+}
+
+func TestSameCycleTieBreakBySendOrder(t *testing.T) {
+	n := New(5)
+	dst := &collector{}
+	n.Attach(1, dst)
+	n.Send(&Message{Type: MsgData, Dst: 1, Tag: 1}, 0)
+	n.Send(&Message{Type: MsgInv, Dst: 1, Tag: 2}, 0)
+	n.Deliver(5)
+	if dst.got[0].Tag != 1 || dst.got[1].Tag != 2 {
+		t.Error("same-cycle messages must deliver in send order")
+	}
+}
+
+func TestPendingAndNextDelivery(t *testing.T) {
+	n := New(3)
+	n.Attach(1, &collector{})
+	if _, ok := n.NextDelivery(); ok {
+		t.Error("empty network reports a pending delivery")
+	}
+	n.Send(&Message{Dst: 1}, 4)
+	if n.Pending() != 1 {
+		t.Errorf("pending = %d", n.Pending())
+	}
+	if at, ok := n.NextDelivery(); !ok || at != 7 {
+		t.Errorf("next delivery = %d,%v", at, ok)
+	}
+	n.Deliver(7)
+	if n.Pending() != 0 {
+		t.Error("message not drained")
+	}
+}
+
+func TestUnattachedDestinationPanics(t *testing.T) {
+	n := New(1)
+	n.Send(&Message{Dst: 9}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to unattached node must panic")
+		}
+	}()
+	n.Deliver(1)
+}
+
+func TestDoubleEnqueuePanics(t *testing.T) {
+	n := New(1)
+	n.Attach(1, &collector{})
+	m := &Message{Dst: 1}
+	n.Send(m, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-sending an enqueued message must panic")
+		}
+	}()
+	n.Send(m, 0)
+}
+
+func TestHopsByTypeCounting(t *testing.T) {
+	n := New(1)
+	n.Attach(1, &collector{})
+	n.Send(&Message{Type: MsgGetS, Dst: 1}, 0)
+	n.Send(&Message{Type: MsgGetS, Dst: 1}, 0)
+	n.Send(&Message{Type: MsgInv, Dst: 1}, 0)
+	if n.HopsByType[MsgGetS] != 2 || n.HopsByType[MsgInv] != 1 || n.MessagesSent != 3 {
+		t.Errorf("counters wrong: %v total=%d", n.HopsByType, n.MessagesSent)
+	}
+}
+
+func TestMsgTypeStringsDistinct(t *testing.T) {
+	types := []MsgType{
+		MsgGetS, MsgGetX, MsgWriteBack, MsgReplaceHint,
+		MsgData, MsgDataEx, MsgInv, MsgInvAck,
+		MsgRecallShare, MsgRecallInv, MsgWBAck,
+		MsgUpdateReq, MsgUpdate, MsgUpdateAck, MsgUpdateDone,
+		MsgMemRead, MsgMemWrite, MsgMemRdResp, MsgMemWrAck,
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		s := typ.String()
+		if s == "Msg(?)" {
+			t.Errorf("type %d has no name", typ)
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestDeliveryOrderProperty property: for arbitrary send times, deliveries
+// arrive in non-decreasing delivery-time order and nothing is lost.
+func TestDeliveryOrderProperty(t *testing.T) {
+	f := func(sendTimes []uint16) bool {
+		n := New(9)
+		dst := &collector{}
+		n.Attach(1, dst)
+		for _, st := range sendTimes {
+			n.Send(&Message{Dst: 1}, uint64(st))
+		}
+		// Deliver in chunks to exercise partial drains.
+		for cyc := uint64(0); cyc <= 1<<16+9; cyc += 1000 {
+			n.Deliver(cyc)
+		}
+		n.Deliver(1<<17 + 10)
+		if len(dst.got) != len(sendTimes) {
+			return false
+		}
+		for i := 1; i < len(dst.at); i++ {
+			if dst.at[i] < dst.at[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

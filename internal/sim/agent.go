@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"mcmsim/internal/memsys"
+	"mcmsim/internal/network"
+)
+
+// agent is a cacheless network node that performs directory-serialized
+// writes on behalf of the test harness — the "another processor writes the
+// location" actor in the paper's examples. Under the invalidation protocol
+// the directory invalidates or recalls all cached copies before applying
+// the write, so caches observe exactly the coherence transactions the
+// detection mechanism of §4 monitors.
+type agent struct {
+	id    network.NodeID
+	homes []network.NodeID
+	net   *network.Network
+	geom  memsys.Geometry
+
+	outstanding int // writes awaiting UpdateDone
+}
+
+func newAgent(id network.NodeID, net *network.Network, homes []network.NodeID, geom memsys.Geometry) *agent {
+	a := &agent{id: id, homes: homes, net: net, geom: geom}
+	net.Attach(id, a)
+	return a
+}
+
+// write sends one external word write into the memory system.
+func (a *agent) write(w ScheduledWrite, now uint64) {
+	a.outstanding++
+	line := a.geom.LineOf(w.Addr)
+	home := a.homes[(line/a.geom.LineWords)%uint64(len(a.homes))]
+	a.net.Send(&network.Message{
+		Type: network.MsgUpdateReq, Src: a.id, Dst: home,
+		Line: line, Word: w.Addr, Value: w.Value,
+	}, now)
+}
+
+// idle reports whether all injected writes have completed at the directory.
+func (a *agent) idle() bool { return a.outstanding == 0 }
+
+// HandleMessage implements network.Handler: the agent only needs to count
+// completions; invalidation acks from sharers are informational.
+func (a *agent) HandleMessage(m *network.Message, now uint64) {
+	switch m.Type {
+	case network.MsgUpdateDone:
+		a.outstanding--
+	case network.MsgInvAck, network.MsgUpdateAck:
+		// Sharers acknowledging; nothing to do.
+	default:
+		panic("agent: unexpected message " + m.Type.String())
+	}
+}

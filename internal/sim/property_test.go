@@ -1,0 +1,238 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+)
+
+// randomProgram generates a deterministic pseudo-random single-processor
+// program: ALU ops, loads, stores, RMWs over a small address space, plus
+// bounded counted loops — enough structure to shake out pipeline, renaming,
+// forwarding and speculation bugs.
+func randomProgram(seed int64, ops int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+	regs := []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6}
+	addr := func() int64 { return int64(0x100 + rng.Intn(24)) }
+	reg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			b.Li(reg(), int64(rng.Intn(100)))
+		case 2:
+			b.Add(reg(), reg(), reg())
+		case 3:
+			b.AddI(reg(), reg(), int64(rng.Intn(8)))
+		case 4, 5:
+			b.LoadAbs(reg(), addr())
+		case 6, 7:
+			b.StoreAbs(reg(), addr())
+		case 8:
+			b.RMW(isa.RMWFetchAdd, reg(), reg(), isa.R0, addr())
+		case 9:
+			// Bounded counted loop: 1-3 iterations. The body register must
+			// differ from the counter or the loop never terminates.
+			cnt := reg()
+			body := reg()
+			for body == cnt {
+				body = reg()
+			}
+			b.Li(cnt, int64(1+rng.Intn(3)))
+			label := b.FreshLabel("loop")
+			b.Label(label)
+			b.AddI(body, body, 1)
+			b.AddI(cnt, cnt, -1)
+			b.Bnez(cnt, label)
+		}
+	}
+	// Deposit every register so the test can compare architectural state
+	// through memory.
+	for i, r := range regs {
+		b.StoreAbs(r, int64(0x800+i))
+	}
+	b.Halt()
+	return b.Build()
+}
+
+// archResult runs a program and returns a canonical string of the final
+// coherent memory image.
+func archResult(t *testing.T, cfg sim.Config, prog *isa.Program) string {
+	t.Helper()
+	s := sim.New(cfg, []*isa.Program{prog})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.CoherentSnapshot()
+	out := ""
+	for a := uint64(0x100); a < 0x820; a++ {
+		if v, ok := snap[a]; ok {
+			out += fmt.Sprintf("%x=%d;", a, v)
+		}
+	}
+	return out
+}
+
+// TestSequentialSemanticsInvariance: for random single-processor programs,
+// the final architectural state is identical under every consistency model
+// and every technique combination — consistency models and latency-hiding
+// techniques must never change single-thread semantics.
+func TestSequentialSemanticsInvariance(t *testing.T) {
+	techs := []core.Technique{
+		{},
+		{Prefetch: true},
+		{SpecLoad: true},
+		{SpecLoad: true, ReissueOpt: true},
+		{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		prog := randomProgram(seed, 40)
+		var want string
+		for _, model := range core.AllModels {
+			for _, tech := range techs {
+				cfg := sim.RealisticConfig()
+				cfg.Model = model
+				cfg.Tech = tech
+				got := archResult(t, cfg, prog)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("seed %d: %v/%v diverged:\n got %s\nwant %s", seed, model, tech, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperVsRealisticSameResults: the machine configuration (widths,
+// latencies) must never change architectural results either.
+func TestPaperVsRealisticSameResults(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		prog := randomProgram(seed, 30)
+		a := archResult(t, sim.PaperConfig(), prog)
+		cfgB := sim.RealisticConfig()
+		cfgB.LineWords = 1
+		b := archResult(t, cfgB, prog)
+		if a != b {
+			t.Fatalf("seed %d: paper vs realistic configs diverge:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestNSTSameResults: the Stenström comparator is a different memory
+// system entirely but must compute the same program results.
+func TestNSTSameResults(t *testing.T) {
+	for seed := int64(30); seed < 34; seed++ {
+		prog := randomProgram(seed, 25)
+		a := archResult(t, sim.PaperConfig(), prog)
+		cfg := sim.PaperConfig()
+		cfg.NST = true
+		b := archResult(t, cfg, prog)
+		if a != b {
+			t.Fatalf("seed %d: NST diverges:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestUpdateProtocolSameResults: the write-update protocol must compute the
+// same single-processor results as write-invalidate.
+func TestUpdateProtocolSameResults(t *testing.T) {
+	for seed := int64(40); seed < 44; seed++ {
+		prog := randomProgram(seed, 25)
+		a := archResult(t, sim.RealisticConfig(), prog)
+		cfg := sim.RealisticConfig()
+		cfg.Protocol = 1 // coherence.ProtoUpdate
+		b := archResult(t, cfg, prog)
+		if a != b {
+			t.Fatalf("seed %d: update protocol diverges:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestDeterminism: identical configurations produce identical cycle counts
+// and results — the whole simulator is deterministic by construction.
+func TestDeterminism(t *testing.T) {
+	prog := randomProgram(99, 50)
+	runOnce := func() (uint64, string) {
+		cfg := sim.RealisticConfig()
+		cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+		s := sim.New(cfg, []*isa.Program{prog})
+		cycles, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles, fmt.Sprint(s.CoherentSnapshot())
+	}
+	c1, r1 := runOnce()
+	c2, r2 := runOnce()
+	if c1 != c2 || r1 != r2 {
+		t.Errorf("nondeterministic run: %d vs %d cycles", c1, c2)
+	}
+}
+
+// TestMultiProcDRFInvariance: a data-race-free two-processor handoff
+// (producer/consumer through a release/acquire flag) must deliver identical
+// consumer results under every model/technique — the DRF guarantee the
+// paper's §5 relies on.
+func TestMultiProcDRFInvariance(t *testing.T) {
+	build := func(seed int64) (*isa.Program, *isa.Program) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		pb := isa.NewBuilder()
+		sum := int64(0)
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(50))
+			sum += v
+			pb.Li(isa.R1, v)
+			pb.StoreAbs(isa.R1, int64(0x400+i))
+		}
+		pb.Li(isa.R2, 1)
+		pb.ReleaseStoreAbs(isa.R2, 0x500)
+		pb.Halt()
+		cb := isa.NewBuilder()
+		spin := cb.FreshLabel("spin")
+		cb.Label(spin)
+		cb.AcquireLoadAbs(isa.R1, 0x500)
+		cb.Beqz(isa.R1, spin)
+		cb.Li(isa.R10, 0)
+		for i := 0; i < n; i++ {
+			cb.LoadAbs(isa.R2, int64(0x400+i))
+			cb.Add(isa.R10, isa.R10, isa.R2)
+		}
+		cb.StoreAbs(isa.R10, 0x600)
+		cb.Halt()
+		_ = sum
+		return pb.Build(), cb.Build()
+	}
+	techs := []core.Technique{{}, {Prefetch: true, SpecLoad: true, ReissueOpt: true}}
+	for seed := int64(50); seed < 55; seed++ {
+		prod, cons := build(seed)
+		var want int64 = -1
+		for _, model := range core.AllModels {
+			for _, tech := range techs {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = 2
+				cfg.Model = model
+				cfg.Tech = tech
+				s := sim.New(cfg, []*isa.Program{prod, cons})
+				if _, err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				got := s.ReadCoherent(0x600)
+				if want == -1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("seed %d %v/%v: consumer sum %d, want %d", seed, model, tech, got, want)
+				}
+			}
+		}
+	}
+}

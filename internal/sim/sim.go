@@ -1,0 +1,384 @@
+// Package sim assembles the full simulated multiprocessor: out-of-order
+// processors (internal/cpu) with consistency-enforcing load/store units
+// (internal/core), lockup-free caches (internal/cache), the directory
+// (internal/coherence) and the interconnect (internal/network), and drives
+// them with a deterministic cycle loop.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"mcmsim/internal/cache"
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/cpu"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/memsys"
+	"mcmsim/internal/network"
+)
+
+// Config describes a complete machine.
+type Config struct {
+	Procs     int
+	Model     core.Model
+	Tech      core.Technique
+	Protocol  coherence.Protocol
+	LineWords uint64
+
+	// NetLatency is the one-way interconnect latency; MemLatency the
+	// directory/memory service time. A clean miss costs
+	// 2*NetLatency + MemLatency cycles end to end.
+	NetLatency uint64
+	MemLatency uint64
+
+	Cache cache.Config
+	CPU   cpu.Config
+
+	// ForwardLatency is the store-buffer forwarding latency (default 1).
+	ForwardLatency uint64
+	// MaxAddrPerCycle bounds the LSU address unit (0 = unlimited).
+	MaxAddrPerCycle int
+
+	// NST enables the Stenstrom comparator (paper §6): caches bypassed,
+	// ordering guaranteed at the memory module.
+	NST bool
+
+	// UncachedRMW lists word addresses whose RMWs bypass the cache
+	// (Appendix A's non-cached synchronization locations).
+	UncachedRMW map[uint64]bool
+
+	// MemModules interleaves lines across this many home directory/memory
+	// modules (0 or 1 = a single home). DASH-style distributed memory.
+	MemModules int
+	// DirBandwidth bounds the messages each home module services per cycle
+	// (0 = unlimited, the paper's pipelined-memory assumption).
+	DirBandwidth int
+
+	// MaxCycles aborts a run that fails to converge (deadlock guard).
+	MaxCycles uint64
+}
+
+// PaperConfig reproduces the abstract machine of the paper's examples:
+// 1-cycle cache hits, 100-cycle misses (45+10+45), one access accepted per
+// cycle, free instruction supply, single-word lines so the examples never
+// interact through false sharing.
+func PaperConfig() Config {
+	return Config{
+		Procs:      1,
+		Model:      core.SC,
+		Protocol:   coherence.ProtoInvalidate,
+		LineWords:  1,
+		NetLatency: 45,
+		MemLatency: 10,
+		Cache:      cache.DefaultConfig(),
+		CPU:        cpu.PaperConfig(),
+		MaxCycles:  2_000_000,
+	}
+}
+
+// RealisticConfig is a 4-wide machine with 4-word lines and the same
+// 100-cycle miss, used by the workload experiments.
+func RealisticConfig() Config {
+	c := PaperConfig()
+	c.LineWords = 4
+	c.CPU = cpu.RealisticConfig()
+	return c
+}
+
+// MissLatency returns the end-to-end clean-miss cost of the configuration.
+func (c Config) MissLatency() uint64 { return 2*c.NetLatency + c.MemLatency }
+
+// WithMissLatency rescales the network/memory latencies so a clean miss
+// costs the given number of cycles (used by the latency sweeps). The memory
+// service time is kept at ~10% of the total.
+func (c Config) WithMissLatency(miss uint64) Config {
+	if miss < 4 {
+		miss = 4
+	}
+	mem := miss / 10
+	if mem == 0 {
+		mem = 1
+	}
+	if (miss-mem)%2 != 0 {
+		mem++
+	}
+	c.NetLatency = (miss - mem) / 2
+	c.MemLatency = mem
+	return c
+}
+
+// ScheduledWrite injects an external write at a fixed cycle, performed by a
+// cacheless agent at the directory (used by the Figure 5 trace and the
+// contention tests: "assume an invalidation arrives for location D").
+type ScheduledWrite struct {
+	Cycle uint64
+	Addr  uint64
+	Value int64
+}
+
+// System is one assembled machine plus its programs.
+type System struct {
+	Cfg    Config
+	Net    *network.Network
+	Mem    *memsys.Memory
+	Dir    *coherence.Directory // first home module (convenience accessor)
+	Dirs   []*coherence.Directory
+	Caches []*cache.Cache
+	LSUs   []*core.LSU
+	Procs  []*cpu.Proc
+
+	agent      *agent
+	writes     []ScheduledWrite
+	nextWrite  int
+	Cycle      uint64
+	baseCycle  uint64 // cycle at which the current programs were loaded
+	TraceHooks []TraceHook
+}
+
+// TraceHook observes every cycle after all phases ran; used by the
+// Figure 5 tracer.
+type TraceHook func(s *System, cycle uint64)
+
+// New builds a system running the given per-processor programs. len(progs)
+// must equal cfg.Procs.
+func New(cfg Config, progs []*isa.Program) *System {
+	if len(progs) != cfg.Procs {
+		panic(fmt.Sprintf("sim: %d programs for %d processors", len(progs), cfg.Procs))
+	}
+	if cfg.LineWords == 0 {
+		cfg.LineWords = 1
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000
+	}
+	if cfg.MemModules <= 0 {
+		cfg.MemModules = 1
+	}
+	geom := memsys.NewGeometry(cfg.LineWords)
+	mem := memsys.NewMemory(geom)
+	net := network.New(cfg.NetLatency)
+	homes := make([]network.NodeID, cfg.MemModules)
+	dirs := make([]*coherence.Directory, cfg.MemModules)
+	for i := range dirs {
+		homes[i] = network.NodeID(cfg.Procs + i)
+		dirs[i] = coherence.New(homes[i], net, mem, cfg.MemLatency, cfg.Protocol)
+		dirs[i].MaxPerCycle = cfg.DirBandwidth
+	}
+
+	s := &System{Cfg: cfg, Net: net, Mem: mem, Dir: dirs[0], Dirs: dirs}
+	s.agent = newAgent(network.NodeID(cfg.Procs+cfg.MemModules), net, homes, geom)
+
+	for i := 0; i < cfg.Procs; i++ {
+		lcfg := core.Config{
+			Model:           cfg.Model,
+			Tech:            cfg.Tech,
+			ForwardLatency:  cfg.ForwardLatency,
+			MaxAddrPerCycle: cfg.MaxAddrPerCycle,
+		}
+		// The cache's client is the LSU; construct LSU first with a
+		// placeholder cache, then the cache, then bind.
+		lcfg.NST = cfg.NST
+		lcfg.UncachedRMW = cfg.UncachedRMW
+		lsu := core.NewLSU(i, lcfg, nil, geom)
+		c := cache.New(network.NodeID(i), homes[0], net, geom, cfg.Cache, cache.Protocol(cfg.Protocol), lsu)
+		if cfg.MemModules > 1 {
+			c.SetHomes(homes)
+		}
+		if cfg.NST {
+			c.EnableBypass()
+		}
+		lsu.BindCache(c)
+		p := cpu.New(i, cfg.CPU, progs[i], lsu)
+		s.Caches = append(s.Caches, c)
+		s.LSUs = append(s.LSUs, lsu)
+		s.Procs = append(s.Procs, p)
+	}
+	return s
+}
+
+// CoherentSnapshot returns the architecturally visible memory image: main
+// memory overlaid with every dirty cached line. Tests and examples read
+// results through it (dirty lines are not written back at quiescence).
+func (s *System) CoherentSnapshot() map[uint64]int64 {
+	snap := s.Mem.Snapshot()
+	geom := s.Mem.Geometry()
+	for _, c := range s.Caches {
+		for lineAddr, data := range c.DirtyLines() {
+			for i, v := range data {
+				a := lineAddr + uint64(i)
+				if v == 0 {
+					delete(snap, a)
+				} else {
+					snap[a] = v
+				}
+			}
+		}
+	}
+	_ = geom
+	return snap
+}
+
+// ReadCoherent returns the architecturally visible value of one word.
+func (s *System) ReadCoherent(addr uint64) int64 {
+	lineAddr := s.Mem.Geometry().LineOf(addr)
+	off := s.Mem.Geometry().Offset(addr)
+	for _, c := range s.Caches {
+		if data, ok := c.DirtyLines()[lineAddr]; ok {
+			return data[off]
+		}
+	}
+	return s.Mem.ReadWord(addr)
+}
+
+// Preload writes initial values directly into memory before the run.
+func (s *System) Preload(values map[uint64]int64) {
+	for a, v := range values {
+		s.Mem.WriteWord(a, v)
+	}
+}
+
+// ScheduleWrites registers external writes; they must be sorted by cycle.
+func (s *System) ScheduleWrites(ws []ScheduledWrite) {
+	s.writes = append(s.writes, ws...)
+}
+
+// LoadPrograms replaces the processors and load/store units with fresh ones
+// running new programs, keeping memory, caches and directory state intact.
+// This is how warmed-cache experiments are built (e.g. "the read to
+// location D is assumed to hit in the cache").
+func (s *System) LoadPrograms(progs []*isa.Program) {
+	if len(progs) != s.Cfg.Procs {
+		panic("sim: wrong program count")
+	}
+	geom := s.Mem.Geometry()
+	for i := range progs {
+		lcfg := core.Config{
+			Model:           s.Cfg.Model,
+			Tech:            s.Cfg.Tech,
+			ForwardLatency:  s.Cfg.ForwardLatency,
+			MaxAddrPerCycle: s.Cfg.MaxAddrPerCycle,
+		}
+		lcfg.NST = s.Cfg.NST
+		lcfg.UncachedRMW = s.Cfg.UncachedRMW
+		lsu := core.NewLSU(i, lcfg, s.Caches[i], geom)
+		s.Caches[i].SetClient(lsu)
+		lsu.BindCache(s.Caches[i])
+		s.Procs[i] = cpu.New(i, s.Cfg.CPU, progs[i], lsu)
+		s.LSUs[i] = lsu
+	}
+	s.baseCycle = s.Cycle
+}
+
+// Step advances the machine one cycle. Phase order (documented in
+// DESIGN.md) is what gives the paper's exact cycle counts: fetch/decode at
+// cycle start, then message delivery and completions, then execution and
+// retirement, then the load/store issue stage.
+func (s *System) Step() {
+	now := s.Cycle
+	for s.nextWrite < len(s.writes) && s.writes[s.nextWrite].Cycle <= now {
+		s.agent.write(s.writes[s.nextWrite], now)
+		s.nextWrite++
+	}
+	for _, p := range s.Procs {
+		p.TickFrontend(now)
+	}
+	s.Net.Deliver(now)
+	for _, d := range s.Dirs {
+		d.Tick(now)
+	}
+	for _, c := range s.Caches {
+		c.Tick(now)
+	}
+	for _, u := range s.LSUs {
+		u.TickComplete(now)
+	}
+	for _, p := range s.Procs {
+		p.TickExecute(now)
+	}
+	for _, p := range s.Procs {
+		p.TickRetire(now)
+	}
+	for _, u := range s.LSUs {
+		u.TickIssue(now)
+	}
+	for _, h := range s.TraceHooks {
+		h(s, now)
+	}
+	s.Cycle++
+}
+
+// Done reports whether every processor halted and all queues drained.
+func (s *System) Done() bool {
+	for _, p := range s.Procs {
+		if !p.Halted() {
+			return false
+		}
+	}
+	if s.Net.Pending() > 0 || !s.agent.idle() {
+		return false
+	}
+	for _, d := range s.Dirs {
+		if !d.Quiescent() {
+			return false
+		}
+	}
+	for _, c := range s.Caches {
+		if c.PendingWork() {
+			return false
+		}
+	}
+	return s.nextWrite >= len(s.writes)
+}
+
+// Run steps the machine until Done or the cycle budget is exhausted; it
+// returns the cycle at which the last processor halted, relative to the
+// most recent program load.
+func (s *System) Run() (uint64, error) {
+	for !s.Done() {
+		if s.Cycle-s.baseCycle > s.Cfg.MaxCycles {
+			return 0, fmt.Errorf("sim: no convergence after %d cycles\n%s", s.Cfg.MaxCycles, s.Dump())
+		}
+		s.Step()
+	}
+	var last uint64
+	for _, p := range s.Procs {
+		if hc := p.HaltCycle; hc > last {
+			last = hc
+		}
+	}
+	return last - s.baseCycle, nil
+}
+
+// RunProgram is the one-shot convenience: build, run, return the halt cycle.
+func RunProgram(cfg Config, progs []*isa.Program) (uint64, error) {
+	return New(cfg, progs).Run()
+}
+
+// Dump renders a debugging summary of machine state.
+func (s *System) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d netPending=%d\n", s.Cycle, s.Net.Pending())
+	for i, p := range s.Procs {
+		fmt.Fprintf(&b, "proc%d halted=%v rob=%d\n", i, p.Halted(), p.ROBLen())
+	}
+	for i, c := range s.Caches {
+		fmt.Fprintf(&b, "cache%d fills=%d pending=%v\n", i, c.OutstandingFills(), c.PendingWork())
+	}
+	return b.String()
+}
+
+// StatsReport aggregates every component's metrics into one table.
+func (s *System) StatsReport() string {
+	var b strings.Builder
+	for _, d := range s.Dirs {
+		b.WriteString(d.Stats.String())
+	}
+	for i := range s.Procs {
+		b.WriteString(s.Procs[i].Stats.String())
+		b.WriteString(s.LSUs[i].Stats.String())
+		b.WriteString(s.Caches[i].Stats.String())
+	}
+	fmt.Fprintf(&b, "network.messages = %d\n", s.Net.MessagesSent)
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+func TestWithMissLatency(t *testing.T) {
+	for _, miss := range []uint64{10, 20, 50, 100, 123, 400} {
+		cfg := sim.PaperConfig().WithMissLatency(miss)
+		got := cfg.MissLatency()
+		want := miss
+		if want < 4 {
+			want = 4
+		}
+		// Rounded up by at most one cycle to keep the split integral.
+		if got != want && got != want+1 {
+			t.Errorf("WithMissLatency(%d): end-to-end = %d", miss, got)
+		}
+	}
+}
+
+// TestPaperConfigMissIs100 pins the paper's canonical latency split.
+func TestPaperConfigMissIs100(t *testing.T) {
+	cfg := sim.PaperConfig()
+	if cfg.MissLatency() != 100 {
+		t.Fatalf("paper miss latency = %d, want 100", cfg.MissLatency())
+	}
+	if cfg.Cache.HitLatency != 1 {
+		t.Fatalf("paper hit latency = %d, want 1", cfg.Cache.HitLatency)
+	}
+}
+
+func TestRunProgramConvenience(t *testing.T) {
+	b := isa.NewBuilder()
+	b.LoadAbs(isa.R1, 0x40)
+	b.Halt()
+	cycles, err := sim.RunProgram(sim.PaperConfig(), []*isa.Program{b.Build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 100 {
+		t.Errorf("single cold load = %d cycles, want 100", cycles)
+	}
+}
+
+func TestDumpAndStatsReport(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.Procs = 2
+	prod, cons := workload.ProducerConsumer(2)
+	s := sim.New(cfg, []*isa.Program{prod, cons})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dump := s.Dump()
+	for _, want := range []string{"proc0", "proc1", "halted=true"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	report := s.StatsReport()
+	for _, want := range []string{"directory.", "cpu0.", "lsu0.", "cache0.", "network.messages"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("stats report missing %q", want)
+		}
+	}
+}
+
+func TestCoherentSnapshotOverlaysDirtyLines(t *testing.T) {
+	cfg := sim.PaperConfig()
+	b := isa.NewBuilder()
+	b.Li(isa.R1, 5)
+	b.StoreAbs(isa.R1, 0x40)
+	b.Halt()
+	s := sim.New(cfg, []*isa.Program{b.Build()})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The dirty line lives in the cache; main memory still says 0, the
+	// coherent view says 5.
+	if s.Mem.ReadWord(0x40) != 0 {
+		t.Skip("line was written back; overlay not exercised")
+	}
+	if got := s.CoherentSnapshot()[0x40]; got != 5 {
+		t.Errorf("coherent snapshot = %d, want 5", got)
+	}
+	if got := s.ReadCoherent(0x40); got != 5 {
+		t.Errorf("ReadCoherent = %d, want 5", got)
+	}
+}
+
+func TestScheduledWriteInvalidatesCachedCopy(t *testing.T) {
+	cfg := sim.PaperConfig()
+	// The program reads X twice with a long delay loop in between; the
+	// scheduled external write must invalidate the cached copy so the
+	// second read sees the new value.
+	b := isa.NewBuilder()
+	b.LoadAbs(isa.R1, 0x40) // cold: 0
+	b.Li(isa.R3, 40)
+	b.Label("delay")
+	b.AddI(isa.R3, isa.R3, -1)
+	b.Bnez(isa.R3, "delay")
+	// Serialize: a dependent private load chain to burn ~200 cycles.
+	b.LoadAbs(isa.R4, 0x800)
+	b.LoadAbs(isa.R5, 0x900)
+	b.LoadAbs(isa.R2, 0x40) // must see 9
+	b.StoreAbs(isa.R2, 0x600)
+	b.Halt()
+	s := sim.New(cfg, []*isa.Program{b.Build()})
+	s.ScheduleWrites([]sim.ScheduledWrite{{Cycle: 150, Addr: 0x40, Value: 9}})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReadCoherent(0x600); got != 9 {
+		t.Errorf("second read stored %d, want 9 (external write not observed)", got)
+	}
+}
+
+func TestDirBandwidthConfigPlumbed(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.DirBandwidth = 1
+	cfg.MemModules = 2
+	b := isa.NewBuilder()
+	b.LoadAbs(isa.R1, 0x40)
+	b.LoadAbs(isa.R2, 0x44)
+	b.Halt()
+	s := sim.New(cfg, []*isa.Program{b.Build()})
+	if len(s.Dirs) != 2 {
+		t.Fatalf("modules = %d, want 2", len(s.Dirs))
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var serviced uint64
+	for _, d := range s.Dirs {
+		serviced += d.Stats.Counter("serviced").Value()
+	}
+	if serviced == 0 {
+		t.Error("bounded-bandwidth service path not exercised")
+	}
+}
+
+func TestNSTFlagDisablesCaching(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.NST = true
+	b := isa.NewBuilder()
+	b.LoadAbs(isa.R1, 0x40)
+	b.LoadAbs(isa.R2, 0x40) // same word again: no cache, full cost again
+	b.Halt()
+	cycles, err := sim.RunProgram(cfg, []*isa.Program{b.Build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full round trips (pipelined by one cycle under NST issue rules
+	// would be ~101; conventional-cached would be ~101 too but the second
+	// as a hit; NST must not be dramatically cheaper than one round trip).
+	if cycles < 100 {
+		t.Errorf("NST run too fast: %d cycles", cycles)
+	}
+}

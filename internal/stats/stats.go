@@ -1,0 +1,196 @@
+// Package stats provides lightweight counters and histograms used by every
+// component of the simulator. All collection is deterministic and
+// allocation-light so that statistics can stay enabled during benchmarks.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram collects integer samples and reports summary order statistics.
+// It retains every sample; simulator runs are bounded so this is fine and it
+// keeps percentile computation exact.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+	sum     int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.samples))
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank, or 0 when empty.
+func (h *Histogram) Percentile(p float64) int64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(p / 100 * float64(len(h.samples)))
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.sum = 0
+}
+
+func (h *Histogram) ensureSorted() {
+	if h.sorted {
+		return
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	h.sorted = true
+}
+
+// Set is a named collection of counters and histograms. Components create
+// one Set and register the metrics they expose; the simulator aggregates
+// Sets for reporting.
+type Set struct {
+	name     string
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewSet creates an empty metric set with the given component name.
+func NewSet(name string) *Set {
+	return &Set{
+		name:     name,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Name returns the component name the set was created with.
+func (s *Set) Name() string { return s.name }
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (s *Set) Histogram(name string) *Histogram {
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in the set.
+func (s *Set) Reset() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+	for _, h := range s.hists {
+		h.Reset()
+	}
+}
+
+// CounterNames returns the sorted names of all counters in the set.
+func (s *Set) CounterNames() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the sorted names of all histograms in the set.
+func (s *Set) HistogramNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the set as a human-readable table, one metric per line.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%s.%s = %d\n", s.name, n, s.counters[n].Value())
+	}
+	for _, n := range s.HistogramNames() {
+		h := s.hists[n]
+		fmt.Fprintf(&b, "%s.%s = {n=%d mean=%.2f min=%d p50=%d p99=%d max=%d}\n",
+			s.name, n, h.Count(), h.Mean(), h.Min(), h.Percentile(50), h.Percentile(99), h.Max())
+	}
+	return b.String()
+}

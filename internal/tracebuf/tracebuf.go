@@ -1,0 +1,180 @@
+// Package tracebuf records Figure-5-style execution traces: at each
+// milestone event it snapshots the reorder buffer, the store buffer, the
+// speculative-load buffer and the relevant cache-line states, mirroring the
+// table the paper steps through in §4.3.
+package tracebuf
+
+import (
+	"fmt"
+	"strings"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/sim"
+)
+
+// Event is one milestone with full buffer snapshots.
+type Event struct {
+	Cycle       uint64
+	Description string
+	ROB         []string
+	StoreBuffer []core.StoreRow
+	SpecBuffer  []core.SpecRow
+	CacheState  map[string]string // label -> state description
+}
+
+// Tracer accumulates milestone events for one processor.
+type Tracer struct {
+	sys       *sim.System
+	proc      int
+	watch     map[string]uint64 // label -> word address
+	Events    []Event
+	pendingMu []string // milestone descriptions raised this cycle by observer
+}
+
+// New attaches a tracer to processor proc of the system, watching the given
+// labelled addresses for cache-state reporting. It hooks the LSU observer
+// and the per-cycle trace hook.
+func New(s *sim.System, proc int, watch map[string]uint64) *Tracer {
+	t := &Tracer{sys: s, proc: proc, watch: watch}
+	s.LSUs[proc].SetObserver(t.observe)
+	s.TraceHooks = append(s.TraceHooks, func(_ *sim.System, cycle uint64) {
+		t.flush(cycle)
+	})
+	return t
+}
+
+// labelFor maps a word address back to its watch label.
+func (t *Tracer) labelFor(addr uint64) string {
+	for label, a := range t.watch {
+		if a == addr {
+			return label
+		}
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// observe converts LSU events into milestone descriptions. Issue-type
+// events are folded into a single "issued" milestone per cycle batch; the
+// flush hook snapshots state at end of cycle.
+func (t *Tracer) observe(ev core.ObsEvent) {
+	var desc string
+	switch ev.Kind {
+	case core.ObsLoadIssued, core.ObsSpecIssued:
+		desc = fmt.Sprintf("read of %s is issued", t.labelFor(ev.Addr))
+	case core.ObsPrefetch:
+		desc = fmt.Sprintf("write to %s is prefetched", t.labelFor(ev.Addr))
+	case core.ObsLoadDone:
+		desc = fmt.Sprintf("value for %s arrives", t.labelFor(ev.Addr))
+	case core.ObsStoreIssued:
+		desc = fmt.Sprintf("store to %s is issued", t.labelFor(ev.Addr))
+	case core.ObsStoreDone:
+		desc = fmt.Sprintf("write to %s completes", t.labelFor(ev.Addr))
+	case core.ObsSquashFlush:
+		desc = fmt.Sprintf("speculated value for %s invalidated; load and following instructions discarded", t.labelFor(ev.Addr))
+	case core.ObsSquashReissue:
+		desc = fmt.Sprintf("speculative load of %s reissued (value unused)", t.labelFor(ev.Addr))
+	case core.ObsRMWLateSquash:
+		desc = fmt.Sprintf("read-modify-write of %s squashed after issue", t.labelFor(ev.Addr))
+	case core.ObsForward:
+		desc = fmt.Sprintf("load of %s forwarded from store buffer", t.labelFor(ev.Addr))
+	default:
+		return
+	}
+	t.pendingMu = append(t.pendingMu, desc)
+}
+
+// flush emits one Event per cycle that raised milestones, snapshotting the
+// buffers after all phases of the cycle ran.
+func (t *Tracer) flush(cycle uint64) {
+	if len(t.pendingMu) == 0 {
+		return
+	}
+	desc := strings.Join(t.pendingMu, "; ")
+	t.pendingMu = t.pendingMu[:0]
+	ev := Event{
+		Cycle:       cycle,
+		Description: desc,
+		ROB:         t.sys.Procs[t.proc].ROBSnapshot(),
+		StoreBuffer: t.sys.LSUs[t.proc].StoreBufferSnapshot(),
+		SpecBuffer:  t.sys.LSUs[t.proc].SpecBufferSnapshot(),
+		CacheState:  map[string]string{},
+	}
+	c := t.sys.Caches[t.proc]
+	for label, addr := range t.watch {
+		st := c.StateOf(addr).String()
+		if out, ex := c.HasMSHR(addr); out {
+			if ex {
+				st += "+ex-fetch-pending"
+			} else {
+				st += "+fetch-pending"
+			}
+		}
+		ev.CacheState[label] = st
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// String renders the trace as a table in the spirit of Figure 5.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for i, ev := range t.Events {
+		fmt.Fprintf(&b, "Event %d (cycle %d): %s\n", i+1, ev.Cycle, ev.Description)
+		fmt.Fprintf(&b, "  reorder buffer : %s\n", strings.Join(ev.ROB, " | "))
+		if len(ev.StoreBuffer) > 0 {
+			parts := make([]string, 0, len(ev.StoreBuffer))
+			for _, r := range ev.StoreBuffer {
+				s := fmt.Sprintf("%v@%s", r.Class, t.labelFor(r.Addr))
+				if r.Issued {
+					s += "*"
+				}
+				parts = append(parts, s)
+			}
+			fmt.Fprintf(&b, "  store buffer   : %s\n", strings.Join(parts, " | "))
+		}
+		if len(ev.SpecBuffer) > 0 {
+			parts := make([]string, 0, len(ev.SpecBuffer))
+			for _, r := range ev.SpecBuffer {
+				s := fmt.Sprintf("ld %s", t.labelFor(r.LoadAddr))
+				if r.Acq {
+					s += " acq"
+				}
+				if r.Done {
+					s += " done"
+				}
+				if r.HasTag {
+					s += fmt.Sprintf(" tag=%v@%s", r.TagClass, t.labelFor(r.TagAddr))
+				}
+				parts = append(parts, s)
+			}
+			fmt.Fprintf(&b, "  spec-load buf  : %s\n", strings.Join(parts, " | "))
+		}
+		labels := make([]string, 0, len(ev.CacheState))
+		for label := range ev.CacheState {
+			labels = append(labels, label)
+		}
+		sortStrings(labels)
+		parts := make([]string, 0, len(labels))
+		for _, l := range labels {
+			parts = append(parts, fmt.Sprintf("%s:%s", l, ev.CacheState[l]))
+		}
+		fmt.Fprintf(&b, "  cache          : %s\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// CacheStateOf exposes a cache line's state label from the last event, for
+// tests.
+func (t *Tracer) CacheStateOf(label string) string {
+	if len(t.Events) == 0 {
+		return ""
+	}
+	return t.Events[len(t.Events)-1].CacheState[label]
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package tracebuf_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/tracebuf"
+)
+
+func build(t *testing.T) (*sim.System, *tracebuf.Tracer) {
+	t.Helper()
+	cfg := sim.PaperConfig()
+	cfg.Model = core.SC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	b := isa.NewBuilder()
+	b.Li(isa.R2, 1)
+	b.LoadAbs(isa.R1, 0x100)
+	b.StoreAbs(isa.R2, 0x200)
+	b.Halt()
+	s := sim.New(cfg, []*isa.Program{b.Build()})
+	tr := tracebuf.New(s, 0, map[string]uint64{"X": 0x100, "Y": 0x200})
+	return s, tr
+}
+
+func TestTracerRecordsIssueAndCompletion(t *testing.T) {
+	s, tr := build(t)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	all := tr.String()
+	for _, want := range []string{
+		"read of X is issued",
+		"value for X arrives",
+		"write to Y is prefetched",
+		"write to Y completes",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("trace missing %q:\n%s", want, all)
+		}
+	}
+}
+
+func TestTracerSnapshotsBuffers(t *testing.T) {
+	s, tr := build(t)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The first event (load X issued) must show the load in the
+	// speculative-load buffer and the store buffered.
+	first := tr.Events[0]
+	if len(first.SpecBuffer) == 0 {
+		t.Errorf("first event has empty spec buffer: %+v", first)
+	}
+	if len(first.ROB) == 0 {
+		t.Error("first event has empty reorder buffer")
+	}
+	if first.CacheState["X"] == "" || first.CacheState["Y"] == "" {
+		t.Errorf("cache states missing: %+v", first.CacheState)
+	}
+	// The last event must show both lines resident: X shared, Y exclusive.
+	last := tr.Events[len(tr.Events)-1]
+	if last.CacheState["X"] != "shared" {
+		t.Errorf("final X state = %q", last.CacheState["X"])
+	}
+	if last.CacheState["Y"] != "exclusive" {
+		t.Errorf("final Y state = %q", last.CacheState["Y"])
+	}
+	if got := tr.CacheStateOf("Y"); got != "exclusive" {
+		t.Errorf("CacheStateOf(Y) = %q", got)
+	}
+}
+
+func TestTracerLabelsUnknownAddresses(t *testing.T) {
+	s, tr := build(t)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Events never reference raw hex for watched labels.
+	if strings.Contains(tr.String(), "0x100") {
+		t.Errorf("trace leaked a raw address for a watched label:\n%s", tr.String())
+	}
+}

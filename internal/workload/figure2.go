@@ -1,0 +1,109 @@
+// Package workload builds the programs the experiments run: the paper's
+// worked examples (Figure 2, Figure 5), litmus tests for the ordering rules
+// of Figure 1, and synthetic applications (producer/consumer, critical
+// sections, data-race-free sharing) for the equalization and sweep
+// experiments the paper defers to "extensive simulation experiments".
+package workload
+
+import "mcmsim/internal/isa"
+
+// Addresses used by the paper's examples. Each lives on its own line under
+// the paper configuration (one word per line).
+const (
+	AddrLock = 0x100 // location L
+	AddrA    = 0x110
+	AddrB    = 0x120
+	AddrC    = 0x130
+	AddrD    = 0x140
+	AddrE    = 0x200 // base of array E; E[D] = AddrE + value(D)
+	DValue   = 8     // the value stored at D, indexing E
+	AddrEofD = AddrE + DValue
+	AddrFlag = 0x150
+	AddrSeen = 0x160
+)
+
+// Example1 is the left code segment of Figure 2 — a producer updating two
+// locations inside a critical section:
+//
+//	lock L     (miss)
+//	write A    (miss)
+//	write B    (miss)
+//	unlock L   (hit)
+//
+// Expected cycles (§3.3): SC 301, RC 202; with prefetching 103 under both.
+func Example1() *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.R2, 1)
+	b.Lock(isa.R1, AddrLock)
+	b.StoreAbs(isa.R2, AddrA)
+	b.StoreAbs(isa.R2, AddrB)
+	b.Unlock(AddrLock)
+	b.Halt()
+	return b.Build()
+}
+
+// Example2 is the right code segment of Figure 2 — a consumer reading
+// several locations, one dependent on another:
+//
+//	lock L      (miss)
+//	read C      (miss)
+//	read D      (hit)
+//	read E[D]   (miss)
+//	unlock L    (hit)
+//
+// Expected cycles: SC 302, RC 203 conventionally; SC 203, RC 202 with
+// prefetching; 104 under both with speculative loads (§4.1).
+func Example2() *isa.Program {
+	b := isa.NewBuilder()
+	b.Lock(isa.R1, AddrLock)
+	b.LoadAbs(isa.R2, AddrC)
+	b.LoadAbs(isa.R3, AddrD)
+	b.Load(isa.R4, isa.R3, AddrE) // read E[D]: address depends on D's value
+	b.Unlock(AddrLock)
+	b.Halt()
+	return b.Build()
+}
+
+// Example2Warmup brings location D into the cache so the "read D" of
+// Example2 hits, as the paper assumes. Run it, then LoadPrograms(Example2).
+func Example2Warmup() *isa.Program {
+	b := isa.NewBuilder()
+	b.LoadAbs(isa.R1, AddrD)
+	b.Halt()
+	return b.Build()
+}
+
+// Figure5 is the code segment stepped through in §4.3:
+//
+//	read A     (miss)
+//	write B    (miss)
+//	write C    (miss)
+//	read D     (hit)
+//	read E[D]  (miss)
+//
+// run under SC with speculative loads and store prefetching; an external
+// invalidation for D arrives mid-run.
+func Figure5() *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.R2, 1)
+	b.LoadAbs(isa.R1, AddrA)
+	b.StoreAbs(isa.R2, AddrB)
+	b.StoreAbs(isa.R2, AddrC)
+	b.LoadAbs(isa.R3, AddrD)
+	b.Load(isa.R4, isa.R3, AddrE)
+	b.Halt()
+	return b.Build()
+}
+
+// Figure5Warmup caches D (the assumed hit).
+func Figure5Warmup() *isa.Program {
+	return Example2Warmup()
+}
+
+// Idle is a program that halts immediately (for processors that only exist
+// to hold cache state or to contend).
+func Idle() *isa.Program {
+	b := isa.NewBuilder()
+	b.Halt()
+	return b.Build()
+}

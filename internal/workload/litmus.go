@@ -1,0 +1,228 @@
+package workload
+
+import "mcmsim/internal/isa"
+
+// Litmus addresses and result slots. X and Y are the contended variables;
+// each processor deposits what it observed into a result word so tests can
+// read outcomes from the coherent memory image.
+const (
+	LitX  = 0x300
+	LitY  = 0x310
+	LitR0 = 0x900 // processor 0's observation
+	LitR1 = 0x910 // processor 1's observation
+	// LitData/LitFlag are the message-passing variables.
+	LitData = 0x320
+	LitFlag = 0x330
+)
+
+// Litmus is a named two-(or three-)processor ordering test with the set of
+// models (run conventionally) that permit its "relaxed" outcome, per the
+// delay arcs of Figure 1.
+type Litmus struct {
+	Name string
+	// Programs builds the per-processor programs (the last processor may be
+	// a helper that seeds cache state).
+	Programs func() []*isa.Program
+	// Warmups optionally run first to establish cache residency (nil entries
+	// mean Idle).
+	Warmups func() []*isa.Program
+	// Relaxed inspects final memory and reports whether the relaxed
+	// (SC-forbidden) outcome occurred.
+	Relaxed func(read func(uint64) int64) bool
+	// AllowedUnder lists the models whose conventional implementation
+	// permits — and with this test's timing, deterministically exhibits —
+	// the relaxed outcome.
+	AllowedUnder map[string]bool
+}
+
+// spinUntilNonzero emits a spin loop reading addr (plain or acquire load)
+// into dst until it is nonzero.
+func spinUntilNonzero(b *isa.Builder, dst isa.Reg, addr int64, acquire bool) {
+	spin := b.FreshLabel("spin")
+	b.Label(spin)
+	if acquire {
+		b.AcquireLoadAbs(dst, addr)
+	} else {
+		b.LoadAbs(dst, addr)
+	}
+	b.Beqz(dst, spin)
+}
+
+// StoreBuffering is the Dekker-style test. Each processor writes its
+// variable then reads the other's. The relaxed outcome — both read 0 —
+// requires a read to bypass the processor's own pending write (the W->R
+// relaxation). Figure 1: permitted by PC, WC and RC; forbidden by SC.
+//
+// Both loads hit locally (the lines are warmed shared) while both stores
+// miss, so any model that lets reads bypass writes exhibits both-0.
+func StoreBuffering(sync bool) Litmus {
+	name := "SB"
+	allowed := map[string]bool{"PC": true, "WC": true, "RC": true, "RCsc": true}
+	if sync {
+		// Release stores and acquire loads: WCsc keeps synchronization
+		// accesses in order with each other, so WC now forbids the
+		// relaxation; RCpc keeps special accesses only processor consistent,
+		// so an acquire still bypasses a pending release.
+		name = "SB+sync"
+		allowed = map[string]bool{"PC": true, "RC": true} // RCsc orders specials: forbidden
+	}
+	return Litmus{
+		Name:         name,
+		AllowedUnder: allowed,
+		Warmups: func() []*isa.Program {
+			w0 := isa.NewBuilder()
+			w0.LoadAbs(isa.R1, LitY)
+			w0.Halt()
+			w1 := isa.NewBuilder()
+			w1.LoadAbs(isa.R1, LitX)
+			w1.Halt()
+			return []*isa.Program{w0.Build(), w1.Build()}
+		},
+		Programs: func() []*isa.Program {
+			b0 := isa.NewBuilder()
+			b0.Li(isa.R1, 1)
+			if sync {
+				b0.ReleaseStoreAbs(isa.R1, LitX)
+				b0.AcquireLoadAbs(isa.R2, LitY)
+			} else {
+				b0.StoreAbs(isa.R1, LitX)
+				b0.LoadAbs(isa.R2, LitY)
+			}
+			b0.StoreAbs(isa.R2, LitR0)
+			b0.Halt()
+			b1 := isa.NewBuilder()
+			b1.Li(isa.R1, 1)
+			if sync {
+				b1.ReleaseStoreAbs(isa.R1, LitY)
+				b1.AcquireLoadAbs(isa.R2, LitX)
+			} else {
+				b1.StoreAbs(isa.R1, LitY)
+				b1.LoadAbs(isa.R2, LitX)
+			}
+			b1.StoreAbs(isa.R2, LitR1)
+			b1.Halt()
+			return []*isa.Program{b0.Build(), b1.Build()}
+		},
+		Relaxed: func(read func(uint64) int64) bool {
+			return read(LitR0) == 0 && read(LitR1) == 0
+		},
+	}
+}
+
+// MessagePassing is the producer/consumer visibility test. Processor 0
+// writes DATA then FLAG; processor 1 reads FLAG then DATA. The relaxed
+// outcome — FLAG observed set but DATA observed stale — requires either the
+// two writes or the two reads to be reordered: the W->W / R->R relaxation.
+// Figure 1: permitted by WC and RC for ordinary accesses; forbidden by SC
+// and PC. With a release store and an acquire spin every model forbids it.
+//
+// Timing for the ordinary variant: DATA is warmed shared at the consumer
+// (its read hits and can bind 0 immediately if the model lets it), while
+// the consumer's FLAG read is delayed past the producer's FLAG write by a
+// chain of port-staggering dummy loads. Under WC/RC the consumer's two
+// reads pipeline, so DATA binds old before FLAG binds new; under SC/PC the
+// DATA read waits for the FLAG read, by which time the producer's
+// invalidation has removed the stale copy. Under SC with speculative loads
+// the early-bound stale DATA value is squashed by that invalidation — the
+// detection mechanism at work.
+func MessagePassing(sync bool) Litmus {
+	if sync {
+		return Litmus{
+			Name:         "MP+sync",
+			AllowedUnder: map[string]bool{},
+			Programs: func() []*isa.Program {
+				b0 := isa.NewBuilder()
+				b0.Li(isa.R1, 1)
+				b0.StoreAbs(isa.R1, LitData)
+				b0.ReleaseStoreAbs(isa.R1, LitFlag)
+				b0.Halt()
+				b1 := isa.NewBuilder()
+				spinUntilNonzero(b1, isa.R1, LitFlag, true)
+				b1.LoadAbs(isa.R2, LitData)
+				b1.StoreAbs(isa.R2, LitR1)
+				b1.Halt()
+				return []*isa.Program{b0.Build(), b1.Build()}
+			},
+			Relaxed: func(read func(uint64) int64) bool {
+				// FLAG was certainly observed set (the spin exited), so a
+				// stale DATA read is the violation.
+				return read(LitR1) == 0
+			},
+		}
+	}
+	const dummies = 8 // stays under the MSHR limit so the loads pipeline
+	return Litmus{
+		Name:         "MP",
+		AllowedUnder: map[string]bool{"WC": true, "RC": true, "RCsc": true},
+		Warmups: func() []*isa.Program {
+			// The consumer warms DATA so its read hits locally.
+			w1 := isa.NewBuilder()
+			w1.LoadAbs(isa.R1, LitData)
+			w1.Halt()
+			return []*isa.Program{nil, w1.Build()}
+		},
+		Programs: func() []*isa.Program {
+			b0 := isa.NewBuilder()
+			b0.Li(isa.R1, 1)
+			b0.StoreAbs(isa.R1, LitData)
+			b0.StoreAbs(isa.R1, LitFlag)
+			b0.Halt()
+			b1 := isa.NewBuilder()
+			// Port-staggering dummy loads: each occupies the issue port for
+			// a cycle, so the FLAG read reaches the directory after the
+			// producer's FLAG write has been granted ownership.
+			for i := 0; i < dummies; i++ {
+				b1.LoadAbs(isa.R3, int64(privBase+0x800+i*0x10))
+			}
+			b1.LoadAbs(isa.R1, LitFlag)
+			b1.LoadAbs(isa.R2, LitData)
+			b1.StoreAbs(isa.R1, LitR0)
+			b1.StoreAbs(isa.R2, LitR1)
+			b1.Halt()
+			return []*isa.Program{b0.Build(), b1.Build()}
+		},
+		Relaxed: func(read func(uint64) int64) bool {
+			return read(LitR0) == 1 && read(LitR1) == 0
+		},
+	}
+}
+
+// LoadBuffering checks that a store never bypasses an older load on the
+// same processor (no model in Figure 1 relaxes R->W into visibility before
+// the load binds... every model forbids the both-1 outcome because stores
+// are held until they reach the head of the reorder buffer).
+func LoadBuffering() Litmus {
+	return Litmus{
+		Name:         "LB",
+		AllowedUnder: map[string]bool{},
+		Programs: func() []*isa.Program {
+			b0 := isa.NewBuilder()
+			b0.LoadAbs(isa.R2, LitX)
+			b0.Li(isa.R1, 1)
+			b0.StoreAbs(isa.R1, LitY)
+			b0.StoreAbs(isa.R2, LitR0)
+			b0.Halt()
+			b1 := isa.NewBuilder()
+			b1.LoadAbs(isa.R2, LitY)
+			b1.Li(isa.R1, 1)
+			b1.StoreAbs(isa.R1, LitX)
+			b1.StoreAbs(isa.R2, LitR1)
+			b1.Halt()
+			return []*isa.Program{b0.Build(), b1.Build()}
+		},
+		Relaxed: func(read func(uint64) int64) bool {
+			return read(LitR0) == 1 && read(LitR1) == 1
+		},
+	}
+}
+
+// AllLitmus returns the Figure 1 test battery.
+func AllLitmus() []Litmus {
+	return []Litmus{
+		StoreBuffering(false),
+		MessagePassing(false),
+		StoreBuffering(true),
+		MessagePassing(true),
+		LoadBuffering(),
+	}
+}
