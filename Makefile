@@ -1,0 +1,43 @@
+# Pre-PR gate and convenience targets. `make check` is what every change
+# must pass before review (documented in README.md): vet, formatting,
+# build, the full test suite, and the race-detector tier over the packages
+# that exercise goroutine concurrency (the parallel runner and the
+# simulator integration tests it drives).
+
+GO ?= go
+
+.PHONY: check vet fmtcheck build test race bench sweep fmt
+
+check: vet fmtcheck build test race
+	@echo "check: OK"
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency tier: the worker pool and the simulations it fans out
+# must be race-clean at every worker count.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim
+
+# Regenerate every figure/experiment headline via the benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The full evaluation suite on all CPUs.
+sweep:
+	$(GO) run ./cmd/sweep -exp all
+
+fmt:
+	gofmt -w .

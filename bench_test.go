@@ -13,11 +13,13 @@ package mcmsim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mcmsim/internal/core"
 	"mcmsim/internal/experiments"
 	"mcmsim/internal/isa"
+	"mcmsim/internal/runner"
 	"mcmsim/internal/sim"
 	"mcmsim/internal/workload"
 )
@@ -250,6 +252,43 @@ func BenchmarkRMW(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkSweepSuite runs the entire E-series evaluation (every suite
+// sweep's full job list, 110 independent simulations) through the parallel
+// execution engine at several worker counts. ns/op is the wall time of one
+// complete `sweep -exp all` equivalent; "simcycles/s" is aggregate
+// simulation throughput. Comparing the j1 and jN sub-benchmarks measures
+// the run-level parallel speedup on the host (bounded by GOMAXPROCS and by
+// the longest single job).
+func BenchmarkSweepSuite(b *testing.B) {
+	params := experiments.DefaultParams()
+	var jobs []runner.Job
+	for _, s := range experiments.Suite() {
+		jobs = append(jobs, s.Jobs(params)...)
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				results := runner.Run(jobs, runner.Options{Workers: workers})
+				rows, err := runner.Rows(results)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, r := range rows {
+					total += r.Cycles
+				}
+			}
+			b.ReportMetric(float64(len(jobs)), "jobs")
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated

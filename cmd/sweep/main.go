@@ -1,5 +1,8 @@
-// Command sweep runs the evaluation experiments (DESIGN.md rows E1-E7) and
-// prints their result tables:
+// Command sweep runs the evaluation experiments (DESIGN.md rows E1-E14)
+// and prints their result tables. Each experiment is a list of independent
+// deterministic simulations; sweep fans them out across a bounded worker
+// pool (internal/runner) and reassembles the rows in enumeration order, so
+// the output is byte-identical for every -j value.
 //
 //	sweep -exp equalization   model x technique grid (the §5 claim)
 //	sweep -exp latency        miss-latency sweep, SC vs RC
@@ -8,117 +11,143 @@
 //	sweep -exp protocol       invalidation vs update coherence
 //	sweep -exp advehill       Adve-Hill SC comparator (§6)
 //	sweep -exp nst            Stenstrom cacheless comparator (§6)
-//	sweep -exp all            everything
+//	sweep -exp swprefetch     hardware vs software prefetch windows (§6)
+//	sweep -exp scdetect       SC-violation detection on relaxed hardware
+//	sweep -exp detection      conservative vs repeat-and-compare (§4.1)
+//	sweep -exp bandwidth      home-module bandwidth and interleaving
+//	sweep -exp mshr           lockup-free cache MSHR sweep (§3.2)
+//	sweep -exp reissue        reissue-only correction ablation (§4.2)
+//	sweep -exp all            everything, on one shared worker pool
+//
+// Execution and output flags:
+//
+//	-j N              worker-pool size (default: all CPUs)
+//	-format table|json|csv
+//	-out FILE         write the report to FILE instead of stdout
+//	-quiet            suppress the per-job progress log on stderr
+//
+// Progress (jobs done/total, per-job simulated cycles and wall time) goes
+// to stderr; the report goes to stdout or -out, so archived tables never
+// interleave with progress lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
-	"text/tabwriter"
+	"time"
 
 	"mcmsim/internal/experiments"
+	"mcmsim/internal/runner"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: equalization, latency, contention, lookahead, protocol, advehill, swprefetch, nst, scdetect, detection, bandwidth, mshr, reissue, all")
-	procs := flag.Int("procs", 3, "processors for the workload experiments")
-	seed := flag.Int64("seed", 7, "workload seed")
+	var (
+		exp    = flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.SuiteNames(), ", ")+", or all; comma-separated lists are accepted")
+		procs  = flag.Int("procs", 3, "processors for the workload experiments")
+		seed   = flag.Int64("seed", 7, "workload seed")
+		jobs   = flag.Int("j", runtime.NumCPU(), "worker-pool size (simulations run concurrently; <=0 means all CPUs)")
+		format = flag.String("format", "table", "output format: table, json, csv")
+		out    = flag.String("out", "", "write the report to this file instead of stdout")
+		quiet  = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	)
 	flag.Parse()
-
-	runners := map[string]func() ([]experiments.Row, error){
-		"equalization": func() ([]experiments.Row, error) { return experiments.Equalization(*procs, *seed) },
-		"latency": func() ([]experiments.Row, error) {
-			return experiments.LatencySweep(*procs, *seed, []uint64{20, 50, 100, 200, 400})
-		},
-		"contention": func() ([]experiments.Row, error) {
-			return experiments.ContentionSweep(*procs, *seed, []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8})
-		},
-		"lookahead": func() ([]experiments.Row, error) {
-			return experiments.LookaheadSweep([]int{2, 4, 8, 16, 32, 64})
-		},
-		"protocol": func() ([]experiments.Row, error) { return experiments.ProtocolComparison(*procs, *seed) },
-		"advehill": func() ([]experiments.Row, error) { return experiments.AdveHillComparison(32) },
-		"swprefetch": func() ([]experiments.Row, error) {
-			return experiments.SoftwarePrefetchComparison([]int{4, 8, 16, 32, 64})
-		},
-		"nst":       func() ([]experiments.Row, error) { return experiments.StenstromComparison(32) },
-		"scdetect":  func() ([]experiments.Row, error) { return experiments.SCDetection() },
-		"detection": func() ([]experiments.Row, error) { return experiments.DetectionPolicyComparison(3, 8) },
-		"bandwidth": func() ([]experiments.Row, error) { return experiments.BandwidthComparison(8) },
-		"mshr":      func() ([]experiments.Row, error) { return experiments.MSHRSweep([]int{1, 2, 4, 8, 16}) },
-		"reissue":   func() ([]experiments.Row, error) { return experiments.ReissueAblation(*procs, *seed) },
-	}
-
-	names := []string{*exp}
-	if *exp == "all" {
-		names = names[:0]
-		for n := range runners {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-	}
-	for _, name := range names {
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q\n", name)
-			os.Exit(1)
-		}
-		rows, err := run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("== %s ==\n", name)
-		printRows(rows)
-		fmt.Println()
+	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-// printRows renders rows as an aligned table with a stable column order.
-func printRows(rows []experiments.Row) {
-	if len(rows) == 0 {
-		return
+func run(exp string, params experiments.Params, workers int, format, out string, quiet bool) error {
+	sweeps, err := selectSweeps(exp)
+	if err != nil {
+		return err
 	}
-	var cols []string
-	seen := map[string]bool{}
-	for _, r := range rows {
-		for k := range r.Labels {
-			if !seen[k] {
-				seen[k] = true
-				cols = append(cols, k)
-			}
-		}
+	// Reject a bad -format before any simulation runs; -exp all is seconds
+	// of work that would otherwise be thrown away on a typo.
+	if err := runner.CheckFormat(format); err != nil {
+		return err
 	}
-	sort.Strings(cols)
-	var extras []string
-	seenX := map[string]bool{}
-	for _, r := range rows {
-		for k := range r.Extra {
-			if !seenX[k] {
-				seenX[k] = true
-				extras = append(extras, k)
-			}
-		}
-	}
-	sort.Strings(extras)
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	header := append(append([]string{}, cols...), "cycles")
-	header = append(header, extras...)
-	fmt.Fprintln(w, strings.Join(header, "\t"))
-	for _, r := range rows {
-		parts := make([]string, 0, len(header))
-		for _, c := range cols {
-			parts = append(parts, r.Labels[c])
-		}
-		parts = append(parts, fmt.Sprint(r.Cycles))
-		for _, x := range extras {
-			parts = append(parts, fmt.Sprintf("%.4f", r.Extra[x]))
-		}
-		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	// Enumerate every selected sweep's jobs into one list so a single
+	// worker pool drains them all; remember each sweep's slice bounds to
+	// partition the results again (job order is preserved by the runner).
+	var all []runner.Job
+	bounds := make([][2]int, len(sweeps))
+	for i, s := range sweeps {
+		js := s.Jobs(params)
+		bounds[i] = [2]int{len(all), len(all) + len(js)}
+		all = append(all, js...)
 	}
-	w.Flush()
+
+	opts := runner.Options{Workers: workers}
+	if !quiet {
+		opts.OnProgress = func(p runner.Progress) {
+			status := fmt.Sprintf("cycles=%d", p.Cycles)
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %-40s %s wall=%s\n",
+				len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Name, status, p.Wall.Round(time.Microsecond))
+		}
+	}
+	start := time.Now()
+	results := runner.Run(all, opts)
+	rows, err := runner.Rows(results)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "%d jobs in %s (%d workers)\n",
+			len(all), time.Since(start).Round(time.Millisecond), effectiveWorkers(workers, len(all)))
+	}
+
+	tables := make([]runner.Table, len(sweeps))
+	for i, s := range sweeps {
+		tables[i] = runner.Table{Name: s.Name, Rows: rows[bounds[i][0]:bounds[i][1]]}
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return runner.WriteReport(w, format, tables)
+}
+
+// selectSweeps resolves the -exp argument ("all", one name, or a
+// comma-separated list) against the suite registry.
+func selectSweeps(exp string) ([]experiments.Sweep, error) {
+	if exp == "all" {
+		return experiments.Suite(), nil
+	}
+	var sweeps []experiments.Sweep
+	for _, name := range strings.Split(exp, ",") {
+		name = strings.TrimSpace(name)
+		s, ok := experiments.SweepByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (want one of %s, or all)",
+				name, strings.Join(experiments.SuiteNames(), ", "))
+		}
+		sweeps = append(sweeps, s)
+	}
+	return sweeps, nil
+}
+
+// effectiveWorkers mirrors the runner's worker-count clamping for the
+// summary line.
+func effectiveWorkers(requested, jobs int) int {
+	if requested <= 0 {
+		requested = runtime.NumCPU()
+	}
+	if requested > jobs {
+		requested = jobs
+	}
+	return requested
 }

@@ -12,12 +12,13 @@ import (
 
 // Figure1Cell is one litmus-test outcome under one model/technique.
 type Figure1Cell struct {
-	Litmus  string
-	Model   core.Model
-	Tech    core.Technique
-	Relaxed bool // the SC-forbidden outcome occurred
-	Allowed bool // the model's delay arcs permit that outcome
-	Cycles  uint64
+	Litmus     string
+	Model      core.Model
+	Tech       core.Technique
+	Relaxed    bool // the SC-forbidden outcome occurred
+	Allowed    bool // the model's delay arcs permit that outcome
+	Cycles     uint64
+	Detections uint64 // SC-violation detector hits (E10; zero unless DetectSC)
 }
 
 // RunLitmus executes one litmus test under the given model and techniques
@@ -28,6 +29,16 @@ func RunLitmus(l workload.Litmus, model core.Model, tech core.Technique) (Figure
 
 // RunLitmusWithProtocol is RunLitmus under a chosen coherence protocol.
 func RunLitmusWithProtocol(l workload.Litmus, model core.Model, tech core.Technique, proto coherence.Protocol) (Figure1Cell, error) {
+	s, err := litmusSystem(l, model, tech, proto)
+	if err != nil {
+		return Figure1Cell{}, err
+	}
+	return litmusMeasure(l, model, tech, s)
+}
+
+// litmusSystem assembles (and, where the litmus requires it, warms up) the
+// machine for one litmus run. It is the Configure half of a litmus job.
+func litmusSystem(l workload.Litmus, model core.Model, tech core.Technique, proto coherence.Protocol) (*sim.System, error) {
 	progs := l.Programs()
 	cfg := sim.PaperConfig()
 	cfg.Procs = len(progs)
@@ -35,40 +46,45 @@ func RunLitmusWithProtocol(l workload.Litmus, model core.Model, tech core.Techni
 	cfg.Tech = tech
 	cfg.Protocol = proto
 
-	var s *sim.System
-	if l.Warmups != nil {
-		warm := l.Warmups()
-		ws := make([]*isa.Program, len(progs))
-		for i := range ws {
-			if i < len(warm) && warm[i] != nil {
-				ws[i] = warm[i]
-			} else {
-				ws[i] = workload.Idle()
-			}
-		}
-		s = sim.New(cfg, ws)
-		if _, err := s.Run(); err != nil {
-			return Figure1Cell{}, fmt.Errorf("%s warmup: %w", l.Name, err)
-		}
-		s.LoadPrograms(progs)
-	} else {
-		s = sim.New(cfg, progs)
+	if l.Warmups == nil {
+		return sim.New(cfg, progs), nil
 	}
+	warm := l.Warmups()
+	ws := make([]*isa.Program, len(progs))
+	for i := range ws {
+		if i < len(warm) && warm[i] != nil {
+			ws[i] = warm[i]
+		} else {
+			ws[i] = workload.Idle()
+		}
+	}
+	s := sim.New(cfg, ws)
+	if _, err := s.Run(); err != nil {
+		return nil, fmt.Errorf("%s warmup: %w", l.Name, err)
+	}
+	s.LoadPrograms(progs)
+	return s, nil
+}
+
+// litmusMeasure drives a configured litmus machine to completion and
+// extracts the cell, including the SC-violation detector count.
+func litmusMeasure(l workload.Litmus, model core.Model, tech core.Technique, s *sim.System) (Figure1Cell, error) {
 	cycles, err := s.Run()
 	if err != nil {
 		return Figure1Cell{}, fmt.Errorf("%s: %w", l.Name, err)
 	}
-	litmusDetections = 0
+	var detections uint64
 	for _, u := range s.LSUs {
-		litmusDetections += u.SCViolations()
+		detections += u.SCViolations()
 	}
 	return Figure1Cell{
-		Litmus:  l.Name,
-		Model:   model,
-		Tech:    tech,
-		Relaxed: l.Relaxed(s.ReadCoherent),
-		Allowed: l.AllowedUnder[model.String()],
-		Cycles:  cycles,
+		Litmus:     l.Name,
+		Model:      model,
+		Tech:       tech,
+		Relaxed:    l.Relaxed(s.ReadCoherent),
+		Allowed:    l.AllowedUnder[model.String()],
+		Cycles:     cycles,
+		Detections: detections,
 	}, nil
 }
 

@@ -6,28 +6,43 @@ import (
 	"mcmsim/internal/coherence"
 	"mcmsim/internal/core"
 	"mcmsim/internal/isa"
+	"mcmsim/internal/runner"
 	"mcmsim/internal/sim"
 	"mcmsim/internal/workload"
 )
 
 // Row is one measurement of a sweep: a labelled configuration and its
-// cycle count plus selected rates.
-type Row struct {
-	Labels map[string]string
-	Cycles uint64
-	Extra  map[string]float64
-}
+// cycle count plus selected rates. It is an alias for runner.Row — the
+// sweeps enumerate runner jobs and the runner owns the result currency.
+type Row = runner.Row
 
-func (r Row) String() string {
-	s := ""
-	for k, v := range r.Labels {
-		s += fmt.Sprintf("%s=%s ", k, v)
+// Every sweep below comes in two forms: XxxJobs enumerates the sweep's
+// configuration grid as independent runner jobs (each job constructs its
+// own sim.System on whatever worker picks it up), and Xxx executes that
+// job list on the default worker pool and returns the rows in enumeration
+// order. The Jobs form is what cmd/sweep and the determinism tests feed to
+// a shared pool; the plain form keeps the historical call sites (tests,
+// benchmarks, examples) unchanged.
+
+// simJob builds the common job shape: Configure assembles the machine,
+// Run drives it and labels the resulting cycle count. extra, if non-nil,
+// harvests derived statistics from the finished machine.
+func simJob(name string, labels map[string]string, build func() *sim.System, extra func(*sim.System) map[string]float64) runner.Job {
+	return runner.Job{
+		Name:      name,
+		Configure: func() (*sim.System, error) { return build(), nil },
+		Run: func(s *sim.System) (Row, error) {
+			cycles, err := s.Run()
+			if err != nil {
+				return Row{}, err
+			}
+			row := Row{Labels: labels, Cycles: cycles}
+			if extra != nil {
+				row.Extra = extra(s)
+			}
+			return row, nil
+		},
 	}
-	s += fmt.Sprintf("cycles=%d", r.Cycles)
-	for k, v := range r.Extra {
-		s += fmt.Sprintf(" %s=%.4f", k, v)
-	}
-	return s
 }
 
 // mixedWorkload is the standard multi-phase program set used by the
@@ -42,165 +57,183 @@ func mixedWorkload(nprocs int, seed int64) []*isa.Program {
 	return progs
 }
 
-// Equalization (experiment E1) measures every model under every technique
-// on the mixed workload: the paper's §5 claim is that with both techniques
-// the models' performance converges ("the performance of different
-// consistency models is equalized").
-func Equalization(nprocs int, seed int64) ([]Row, error) {
-	var rows []Row
+// EqualizationJobs enumerates experiment E1: every model under every
+// technique on the mixed workload. The paper's §5 claim is that with both
+// techniques the models' performance converges ("the performance of
+// different consistency models is equalized").
+func EqualizationJobs(nprocs int, seed int64) []runner.Job {
+	var jobs []runner.Job
 	for _, m := range core.AllModels {
 		for _, t := range []core.Technique{TechConv, TechPf, TechSpec, TechBoth} {
-			cfg := sim.RealisticConfig()
-			cfg.Procs = nprocs
-			cfg.Model = m
-			cfg.Tech = t
-			s := sim.New(cfg, mixedWorkload(nprocs, seed))
-			cycles, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("equalization %v/%v: %w", m, t, err)
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"model": m.String(), "tech": t.String()},
-				Cycles: cycles,
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("equalization/%v/%v", m, t),
+				map[string]string{"model": m.String(), "tech": t.String()},
+				func() *sim.System {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = nprocs
+					cfg.Model = m
+					cfg.Tech = t
+					return sim.New(cfg, mixedWorkload(nprocs, seed))
+				}, nil))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// LatencySweep (E2) varies the miss latency and measures SC and RC with
-// and without the techniques on the mixed workload: the gap between models
-// grows with latency conventionally and stays narrow with the techniques.
-func LatencySweep(nprocs int, seed int64, latencies []uint64) ([]Row, error) {
-	var rows []Row
+// Equalization executes E1 and returns its rows.
+func Equalization(nprocs int, seed int64) ([]Row, error) {
+	return runner.Execute(EqualizationJobs(nprocs, seed), 0)
+}
+
+// LatencySweepJobs enumerates E2: miss latency varied, SC and RC measured
+// with and without the techniques on the mixed workload — the gap between
+// models grows with latency conventionally and stays narrow with the
+// techniques.
+func LatencySweepJobs(nprocs int, seed int64, latencies []uint64) []runner.Job {
+	var jobs []runner.Job
 	for _, lat := range latencies {
 		for _, m := range []core.Model{core.SC, core.RC} {
 			for _, t := range []core.Technique{TechConv, TechBoth} {
-				cfg := sim.RealisticConfig().WithMissLatency(lat)
-				cfg.Procs = nprocs
-				cfg.Model = m
-				cfg.Tech = t
-				s := sim.New(cfg, mixedWorkload(nprocs, seed))
-				cycles, err := s.Run()
-				if err != nil {
-					return nil, fmt.Errorf("latency %d %v/%v: %w", lat, m, t, err)
-				}
-				rows = append(rows, Row{
-					Labels: map[string]string{
+				jobs = append(jobs, simJob(
+					fmt.Sprintf("latency/%d/%v/%v", lat, m, t),
+					map[string]string{
 						"miss": fmt.Sprint(lat), "model": m.String(), "tech": t.String(),
 					},
-					Cycles: cycles,
-				})
+					func() *sim.System {
+						cfg := sim.RealisticConfig().WithMissLatency(lat)
+						cfg.Procs = nprocs
+						cfg.Model = m
+						cfg.Tech = t
+						return sim.New(cfg, mixedWorkload(nprocs, seed))
+					}, nil))
 			}
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// ContentionSweep (E3) varies the fraction of shared accesses and measures
-// the speculative-load squash rate and its cost under SC: §5 argues
-// invalidated speculations are rare in well-behaved programs; this shows
-// where that stops being true.
-func ContentionSweep(nprocs int, seed int64, shareFracs []float64) ([]Row, error) {
-	var rows []Row
-	for _, frac := range shareFracs {
-		cfg := sim.RealisticConfig()
-		cfg.Procs = nprocs
-		cfg.Model = core.SC
-		cfg.Tech = TechBoth
-		mix := workload.DefaultMix(seed)
-		mix.ShareFrac = frac
-		mix.Sync = false // racy sharing: worst case for speculation
-		progs := make([]*isa.Program, nprocs)
-		for p := 0; p < nprocs; p++ {
-			progs[p] = workload.RandomSharing(p, nprocs, mix)
-		}
-		s := sim.New(cfg, progs)
-		cycles, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("contention %.2f: %w", frac, err)
-		}
-		var entries, squashes, reissues uint64
-		for _, u := range s.LSUs {
-			entries += u.Stats.Counter("spec_entries").Value()
-			squashes += u.Stats.Counter("spec_squashes").Value()
-			reissues += u.Stats.Counter("spec_reissues").Value()
-		}
-		rate := 0.0
-		if entries > 0 {
-			rate = float64(squashes+reissues) / float64(entries)
-		}
-		rows = append(rows, Row{
-			Labels: map[string]string{"share": fmt.Sprintf("%.2f", frac)},
-			Cycles: cycles,
-			Extra:  map[string]float64{"squash_rate": rate, "squashes": float64(squashes), "reissues": float64(reissues)},
-		})
+// LatencySweep executes E2 and returns its rows.
+func LatencySweep(nprocs int, seed int64, latencies []uint64) ([]Row, error) {
+	return runner.Execute(LatencySweepJobs(nprocs, seed, latencies), 0)
+}
+
+// specStats sums the speculative-load counters across load/store units.
+func specStats(s *sim.System) (entries, squashes, reissues uint64) {
+	for _, u := range s.LSUs {
+		entries += u.Stats.Counter("spec_entries").Value()
+		squashes += u.Stats.Counter("spec_squashes").Value()
+		reissues += u.Stats.Counter("spec_reissues").Value()
 	}
-	return rows, nil
+	return
 }
 
-// LookaheadSweep (E4) varies the reorder-buffer size under SC: §3.2 notes
-// that hardware prefetching is limited by the instruction lookahead window,
-// so small windows should blunt the techniques.
-func LookaheadSweep(robSizes []int) ([]Row, error) {
-	var rows []Row
+// ContentionSweepJobs enumerates E3: the fraction of shared accesses varied,
+// measuring the speculative-load squash rate and its cost under SC. §5
+// argues invalidated speculations are rare in well-behaved programs; this
+// shows where that stops being true.
+func ContentionSweepJobs(nprocs int, seed int64, shareFracs []float64) []runner.Job {
+	var jobs []runner.Job
+	for _, frac := range shareFracs {
+		jobs = append(jobs, simJob(
+			fmt.Sprintf("contention/%.2f", frac),
+			map[string]string{"share": fmt.Sprintf("%.2f", frac)},
+			func() *sim.System {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = nprocs
+				cfg.Model = core.SC
+				cfg.Tech = TechBoth
+				mix := workload.DefaultMix(seed)
+				mix.ShareFrac = frac
+				mix.Sync = false // racy sharing: worst case for speculation
+				progs := make([]*isa.Program, nprocs)
+				for p := 0; p < nprocs; p++ {
+					progs[p] = workload.RandomSharing(p, nprocs, mix)
+				}
+				return sim.New(cfg, progs)
+			},
+			func(s *sim.System) map[string]float64 {
+				entries, squashes, reissues := specStats(s)
+				rate := 0.0
+				if entries > 0 {
+					rate = float64(squashes+reissues) / float64(entries)
+				}
+				return map[string]float64{"squash_rate": rate, "squashes": float64(squashes), "reissues": float64(reissues)}
+			}))
+	}
+	return jobs
+}
+
+// ContentionSweep executes E3 and returns its rows.
+func ContentionSweep(nprocs int, seed int64, shareFracs []float64) ([]Row, error) {
+	return runner.Execute(ContentionSweepJobs(nprocs, seed, shareFracs), 0)
+}
+
+// LookaheadSweepJobs enumerates E4: the reorder-buffer size varied under
+// SC. §3.2 notes that hardware prefetching is limited by the instruction
+// lookahead window, so small windows should blunt the techniques.
+func LookaheadSweepJobs(robSizes []int) []runner.Job {
+	var jobs []runner.Job
 	const n = 64
-	prog := workload.ArraySweep(0, n)
 	for _, size := range robSizes {
 		for _, t := range []core.Technique{TechConv, TechBoth} {
-			cfg := sim.PaperConfig()
-			cfg.CPU.ROBSize = size
-			cfg.Model = core.SC
-			cfg.Tech = t
-			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
-			if err != nil {
-				return nil, fmt.Errorf("lookahead %d/%v: %w", size, t, err)
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"rob": fmt.Sprint(size), "tech": t.String()},
-				Cycles: cycles,
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("lookahead/%d/%v", size, t),
+				map[string]string{"rob": fmt.Sprint(size), "tech": t.String()},
+				func() *sim.System {
+					cfg := sim.PaperConfig()
+					cfg.CPU.ROBSize = size
+					cfg.Model = core.SC
+					cfg.Tech = t
+					return sim.New(cfg, []*isa.Program{workload.ArraySweep(0, n)})
+				}, nil))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// ProtocolComparison (E5) contrasts the invalidation and update coherence
-// protocols under RC with and without prefetching: §3.1 notes read-exclusive
-// prefetch is only possible with invalidations, so the prefetch benefit on
-// write traffic disappears under the update protocol.
-func ProtocolComparison(nprocs int, seed int64) ([]Row, error) {
-	var rows []Row
+// LookaheadSweep executes E4 and returns its rows.
+func LookaheadSweep(robSizes []int) ([]Row, error) {
+	return runner.Execute(LookaheadSweepJobs(robSizes), 0)
+}
+
+// ProtocolComparisonJobs enumerates E5: invalidation versus update
+// coherence under RC with and without prefetching. §3.1 notes
+// read-exclusive prefetch is only possible with invalidations, so the
+// prefetch benefit on write traffic disappears under the update protocol.
+func ProtocolComparisonJobs(nprocs int, seed int64) []runner.Job {
+	var jobs []runner.Job
 	for _, proto := range []coherence.Protocol{coherence.ProtoInvalidate, coherence.ProtoUpdate} {
 		for _, t := range []core.Technique{TechConv, TechPf} {
-			cfg := sim.RealisticConfig()
-			cfg.Procs = nprocs
-			cfg.Model = core.RC
-			cfg.Tech = t
-			cfg.Protocol = proto
-			s := sim.New(cfg, mixedWorkload(nprocs, seed))
-			cycles, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("protocol %v/%v: %w", proto, t, err)
-			}
-			var pf uint64
-			for _, c := range s.Caches {
-				pf += c.Stats.Counter("prefetches_issued").Value()
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"protocol": proto.String(), "tech": t.String()},
-				Cycles: cycles,
-				Extra:  map[string]float64{"prefetches": float64(pf)},
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("protocol/%v/%v", proto, t),
+				map[string]string{"protocol": proto.String(), "tech": t.String()},
+				func() *sim.System {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = nprocs
+					cfg.Model = core.RC
+					cfg.Tech = t
+					cfg.Protocol = proto
+					return sim.New(cfg, mixedWorkload(nprocs, seed))
+				},
+				func(s *sim.System) map[string]float64 {
+					var pf uint64
+					for _, c := range s.Caches {
+						pf += c.Stats.Counter("prefetches_issued").Value()
+					}
+					return map[string]float64{"prefetches": float64(pf)}
+				}))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// sharedWriterPrograms builds the E6 workload: processor 1 warms n lines
-// shared; processor 0 then writes each of them in sequence, so every store
-// must invalidate a remote copy — the case where gaining ownership is
-// observably cheaper than performing the write everywhere.
+// ProtocolComparison executes E5 and returns its rows.
+func ProtocolComparison(nprocs int, seed int64) ([]Row, error) {
+	return runner.Execute(ProtocolComparisonJobs(nprocs, seed), 0)
+}
+
+// sharedWriterWarmup builds the E6 warmup: processor 1 reads n lines so
+// they are remotely shared before the measured writes.
 func sharedWriterWarmup(n int) []*isa.Program {
 	w := isa.NewBuilder()
 	for i := 0; i < n; i++ {
@@ -210,6 +243,10 @@ func sharedWriterWarmup(n int) []*isa.Program {
 	return []*isa.Program{workload.Idle(), w.Build()}
 }
 
+// sharedWriterMain is the measured E6 phase: processor 0 writes each warmed
+// line in sequence, so every store must invalidate a remote copy — the
+// case where gaining ownership is observably cheaper than performing the
+// write everywhere.
 func sharedWriterMain(n int) []*isa.Program {
 	b := isa.NewBuilder()
 	b.Li(isa.R2, 1)
@@ -220,14 +257,15 @@ func sharedWriterMain(n int) []*isa.Program {
 	return []*isa.Program{b.Build(), workload.Idle()}
 }
 
-// AdveHillComparison (E6) measures sequential consistency conventionally,
-// with the Adve-Hill ownership optimization, and with the paper's combined
-// techniques, on a write-intensive workload with remote sharers. The paper
-// predicts the Adve-Hill gains are limited — "the latency of obtaining
-// ownership is often only slightly smaller than the latency for the write
-// to complete" — while prefetching/speculation pipeline the whole stream.
-func AdveHillComparison(nStores int) ([]Row, error) {
-	var rows []Row
+// AdveHillComparisonJobs enumerates E6: sequential consistency measured
+// conventionally, with the Adve-Hill ownership optimization, and with the
+// paper's combined techniques, on a write-intensive workload with remote
+// sharers. The paper predicts the Adve-Hill gains are limited — "the
+// latency of obtaining ownership is often only slightly smaller than the
+// latency for the write to complete" — while prefetching/speculation
+// pipeline the whole stream. The warmup run happens in Configure, so the
+// measured phase starts from a warmed machine exactly as before.
+func AdveHillComparisonJobs(nStores int) []runner.Job {
 	variants := []struct {
 		name string
 		tech core.Technique
@@ -236,48 +274,60 @@ func AdveHillComparison(nStores int) ([]Row, error) {
 		{"advehill", core.Technique{AdveHill: true}},
 		{"pf+spec", TechBoth},
 	}
+	var jobs []runner.Job
 	for _, v := range variants {
-		cfg := sim.PaperConfig()
-		cfg.Procs = 2
-		cfg.Model = core.SC
-		cfg.Tech = v.tech
-		s := sim.New(cfg, sharedWriterWarmup(nStores))
-		if _, err := s.Run(); err != nil {
-			return nil, fmt.Errorf("advehill warmup: %w", err)
-		}
-		s.LoadPrograms(sharedWriterMain(nStores))
-		cycles, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("advehill %s: %w", v.name, err)
-		}
-		rows = append(rows, Row{
-			Labels: map[string]string{"impl": v.name},
-			Cycles: cycles,
+		jobs = append(jobs, runner.Job{
+			Name: "advehill/" + v.name,
+			Configure: func() (*sim.System, error) {
+				cfg := sim.PaperConfig()
+				cfg.Procs = 2
+				cfg.Model = core.SC
+				cfg.Tech = v.tech
+				s := sim.New(cfg, sharedWriterWarmup(nStores))
+				if _, err := s.Run(); err != nil {
+					return nil, fmt.Errorf("warmup: %w", err)
+				}
+				s.LoadPrograms(sharedWriterMain(nStores))
+				return s, nil
+			},
+			Run: func(s *sim.System) (Row, error) {
+				cycles, err := s.Run()
+				if err != nil {
+					return Row{}, err
+				}
+				return Row{Labels: map[string]string{"impl": v.name}, Cycles: cycles}, nil
+			},
 		})
 	}
-	return rows, nil
+	return jobs
 }
 
-// StenstromComparison (E7) contrasts cached SC — conventional and with the
-// paper's techniques — against the cacheless NST scheme on a workload with
-// reuse: §6 argues disallowing caches "can severely hinder performance" —
-// every re-reference pays a full memory round trip, while cached runs hit
-// after the first pass.
-func StenstromComparison(n int) ([]Row, error) {
-	var rows []Row
+// AdveHillComparison executes E6 and returns its rows.
+func AdveHillComparison(nStores int) ([]Row, error) {
+	return runner.Execute(AdveHillComparisonJobs(nStores), 0)
+}
+
+// StenstromComparisonJobs enumerates E7: cached SC — conventional and with
+// the paper's techniques — against the cacheless NST scheme on a workload
+// with reuse. §6 argues disallowing caches "can severely hinder
+// performance" — every re-reference pays a full memory round trip, while
+// cached runs hit after the first pass.
+func StenstromComparisonJobs(n int) []runner.Job {
 	// A reuse-heavy single-processor loop: the array is swept four times,
 	// so the cached machine hits on later passes while NST pays full
 	// latency every time.
-	b := isa.NewBuilder()
-	for pass := 0; pass < 4; pass++ {
-		for i := 0; i < n; i++ {
-			b.LoadAbs(isa.R1, int64(0x10000+i))
-			b.AddI(isa.R1, isa.R1, 1)
-			b.StoreAbs(isa.R1, int64(0x10000+i))
+	buildProg := func() *isa.Program {
+		b := isa.NewBuilder()
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < n; i++ {
+				b.LoadAbs(isa.R1, int64(0x10000+i))
+				b.AddI(isa.R1, isa.R1, 1)
+				b.StoreAbs(isa.R1, int64(0x10000+i))
+			}
 		}
+		b.Halt()
+		return b.Build()
 	}
-	b.Halt()
-	prog := b.Build()
 
 	variants := []struct {
 		name string
@@ -288,33 +338,36 @@ func StenstromComparison(n int) ([]Row, error) {
 		{"cached-SC-pf+spec", false, TechBoth},
 		{"stenstrom-NST", true, TechConv},
 	}
+	var jobs []runner.Job
 	for _, v := range variants {
-		cfg := sim.PaperConfig()
-		cfg.Model = core.SC
-		cfg.NST = v.nst
-		cfg.Tech = v.tech
-		cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
-		}
-		rows = append(rows, Row{
-			Labels: map[string]string{"impl": v.name},
-			Cycles: cycles,
-		})
+		jobs = append(jobs, simJob(
+			"nst/"+v.name,
+			map[string]string{"impl": v.name},
+			func() *sim.System {
+				cfg := sim.PaperConfig()
+				cfg.Model = core.SC
+				cfg.NST = v.nst
+				cfg.Tech = v.tech
+				return sim.New(cfg, []*isa.Program{buildProg()})
+			}, nil))
 	}
-	return rows, nil
+	return jobs
 }
 
-// SoftwarePrefetchComparison (E9) pits hardware-controlled prefetching
-// against compiler-inserted software prefetches across instruction-window
-// sizes, under SC. §6: "the prefetching window [of the hardware scheme] is
-// limited to the size of the instruction lookahead buffer, while
-// theoretically, software-controlled non-binding prefetching has an
-// arbitrarily large window" — and the two "should ... complement one
-// another".
-func SoftwarePrefetchComparison(robSizes []int) ([]Row, error) {
+// StenstromComparison executes E7 and returns its rows.
+func StenstromComparison(n int) ([]Row, error) {
+	return runner.Execute(StenstromComparisonJobs(n), 0)
+}
+
+// SoftwarePrefetchComparisonJobs enumerates E9: hardware-controlled
+// prefetching against compiler-inserted software prefetches across
+// instruction-window sizes, under SC. §6: "the prefetching window [of the
+// hardware scheme] is limited to the size of the instruction lookahead
+// buffer, while theoretically, software-controlled non-binding prefetching
+// has an arbitrarily large window" — and the two "should ... complement
+// one another".
+func SoftwarePrefetchComparisonJobs(robSizes []int) []runner.Job {
 	const n, dist = 64, 16
-	var rows []Row
 	variants := []struct {
 		name string
 		sw   bool
@@ -325,87 +378,104 @@ func SoftwarePrefetchComparison(robSizes []int) ([]Row, error) {
 		{"sw", true, TechConv},
 		{"hw+sw", true, TechPf},
 	}
+	var jobs []runner.Job
 	for _, size := range robSizes {
 		for _, v := range variants {
-			prog := workload.ArraySweep(0, n)
-			if v.sw {
-				prog = workload.SoftwarePrefetchSweep(0, n, dist)
-			}
-			cfg := sim.PaperConfig()
-			cfg.CPU.ROBSize = size
-			cfg.Model = core.SC
-			cfg.Tech = v.tech
-			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
-			if err != nil {
-				return nil, fmt.Errorf("swpf rob=%d %s: %w", size, v.name, err)
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"rob": fmt.Sprint(size), "prefetch": v.name},
-				Cycles: cycles,
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("swprefetch/%d/%s", size, v.name),
+				map[string]string{"rob": fmt.Sprint(size), "prefetch": v.name},
+				func() *sim.System {
+					prog := workload.ArraySweep(0, n)
+					if v.sw {
+						prog = workload.SoftwarePrefetchSweep(0, n, dist)
+					}
+					cfg := sim.PaperConfig()
+					cfg.CPU.ROBSize = size
+					cfg.Model = core.SC
+					cfg.Tech = v.tech
+					return sim.New(cfg, []*isa.Program{prog})
+				}, nil))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// SCDetection (E10) exercises the §6 extension (the paper's reference
+// SoftwarePrefetchComparison executes E9 and returns its rows.
+func SoftwarePrefetchComparison(robSizes []int) ([]Row, error) {
+	return runner.Execute(SoftwarePrefetchComparisonJobs(robSizes), 0)
+}
+
+// SCDetectionJobs enumerates E10, the §6 extension (the paper's reference
 // [6]): running on release-consistent hardware with the detector on, a
 // data-race-free program certifies as sequentially consistent (zero
 // detections), while a racy program whose RC execution actually violates
 // SC is flagged.
-func SCDetection() ([]Row, error) {
+func SCDetectionJobs() []runner.Job {
 	detect := core.Technique{DetectSC: true}
-	var rows []Row
-
-	// Racy case: the ordinary message-passing litmus, which RC reorders.
-	mp := workload.MessagePassing(false)
-	cell, err := RunLitmus(mp, core.RC, detect)
-	if err != nil {
-		return nil, err
+	return []runner.Job{
+		{
+			// Racy case: the ordinary message-passing litmus, which RC
+			// reorders.
+			Name: "scdetect/MP-racy",
+			Configure: func() (*sim.System, error) {
+				return litmusSystem(workload.MessagePassing(false), core.RC, detect, coherence.ProtoInvalidate)
+			},
+			Run: func(s *sim.System) (Row, error) {
+				cell, err := litmusMeasure(workload.MessagePassing(false), core.RC, detect, s)
+				if err != nil {
+					return Row{}, err
+				}
+				return Row{
+					Labels: map[string]string{"program": "MP-racy", "relaxed": fmt.Sprint(cell.Relaxed)},
+					Cycles: cell.Cycles,
+					Extra:  map[string]float64{"detections": float64(cell.Detections)},
+				}, nil
+			},
+		},
+		{
+			// Data-race-free case: producer/consumer with release/acquire.
+			Name: "scdetect/producer-consumer-DRF",
+			Configure: func() (*sim.System, error) {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = 2
+				cfg.Model = core.RC
+				cfg.Tech = detect
+				prod, cons := workload.ProducerConsumer(8)
+				return sim.New(cfg, []*isa.Program{prod, cons}), nil
+			},
+			Run: func(s *sim.System) (Row, error) {
+				cycles, err := s.Run()
+				if err != nil {
+					return Row{}, err
+				}
+				var det uint64
+				for _, u := range s.LSUs {
+					det += u.SCViolations()
+				}
+				return Row{
+					Labels: map[string]string{"program": "producer-consumer-DRF", "relaxed": "false"},
+					Cycles: cycles,
+					Extra:  map[string]float64{"detections": float64(det)},
+				}, nil
+			},
+		},
 	}
-	rows = append(rows, Row{
-		Labels: map[string]string{"program": "MP-racy", "relaxed": fmt.Sprint(cell.Relaxed)},
-		Cycles: cell.Cycles,
-		Extra:  map[string]float64{"detections": float64(litmusDetections)},
-	})
-
-	// Data-race-free case: producer/consumer with release/acquire.
-	cfg := sim.RealisticConfig()
-	cfg.Procs = 2
-	cfg.Model = core.RC
-	cfg.Tech = detect
-	prod, cons := workload.ProducerConsumer(8)
-	s := sim.New(cfg, []*isa.Program{prod, cons})
-	cycles, err := s.Run()
-	if err != nil {
-		return nil, err
-	}
-	var det uint64
-	for _, u := range s.LSUs {
-		det += u.SCViolations()
-	}
-	rows = append(rows, Row{
-		Labels: map[string]string{"program": "producer-consumer-DRF", "relaxed": "false"},
-		Cycles: cycles,
-		Extra:  map[string]float64{"detections": float64(det)},
-	})
-	return rows, nil
 }
 
-// litmusDetections carries the detector count out of RunLitmus for the
-// SCDetection experiment (set on every RunLitmus call).
-var litmusDetections uint64
+// SCDetection executes E10 and returns its rows.
+func SCDetection() ([]Row, error) {
+	return runner.Execute(SCDetectionJobs(), 0)
+}
 
-// DetectionPolicyComparison (E11) ablates the two detection mechanisms of
-// §4.1 under SC with both techniques: the implemented snooping policy that
-// conservatively squashes on any matching coherence transaction (footnote
-// 2: false sharing and same-value writes included), against the
-// repeat-and-compare alternative ("repeat the access when the consistency
-// model would have allowed it to proceed and check the return value").
-// False sharing is where they diverge: the re-read confirms the word and
-// saves the rollback, at the price of a second cache access.
-func DetectionPolicyComparison(nprocs, writes int) ([]Row, error) {
-	var rows []Row
+// DetectionPolicyComparisonJobs enumerates E11, ablating the two detection
+// mechanisms of §4.1 under SC with both techniques: the implemented
+// snooping policy that conservatively squashes on any matching coherence
+// transaction (footnote 2: false sharing and same-value writes included),
+// against the repeat-and-compare alternative ("repeat the access when the
+// consistency model would have allowed it to proceed and check the return
+// value"). False sharing is where they diverge: the re-read confirms the
+// word and saves the rollback, at the price of a second cache access.
+func DetectionPolicyComparisonJobs(nprocs, writes int) []runner.Job {
 	// Both workloads hammer one 4-word line. In the false-sharing variant
 	// each processor writes its own word and reads a word nobody writes:
 	// every read is invalidated by a neighbour's write to the same line but
@@ -446,125 +516,139 @@ func DetectionPolicyComparison(nprocs, writes int) ([]Row, error) {
 		{"conservative", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
 		{"revalidate", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true, Revalidate: true}},
 	}
+	var jobs []runner.Job
 	for _, wl := range workloads {
 		for _, pol := range policies {
-			cfg := sim.RealisticConfig()
-			cfg.Procs = nprocs
-			cfg.Model = core.SC
-			cfg.Tech = pol.tech
-			cfg.LineWords = 4
-			s := sim.New(cfg, wl.progs())
-			cycles, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("detection %s/%s: %w", wl.name, pol.name, err)
-			}
-			var squashes, revalOK, revalFail uint64
-			for _, u := range s.LSUs {
-				squashes += u.Stats.Counter("spec_squashes").Value()
-				revalOK += u.Stats.Counter("revalidations_ok").Value()
-				revalFail += u.Stats.Counter("revalidations_failed").Value()
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"workload": wl.name, "policy": pol.name},
-				Cycles: cycles,
-				Extra: map[string]float64{
-					"squashes": float64(squashes),
-					"reval_ok": float64(revalOK),
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("detection/%s/%s", wl.name, pol.name),
+				map[string]string{"workload": wl.name, "policy": pol.name},
+				func() *sim.System {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = nprocs
+					cfg.Model = core.SC
+					cfg.Tech = pol.tech
+					cfg.LineWords = 4
+					return sim.New(cfg, wl.progs())
 				},
-			})
-			_ = revalFail
+				func(s *sim.System) map[string]float64 {
+					var squashes, revalOK uint64
+					for _, u := range s.LSUs {
+						squashes += u.Stats.Counter("spec_squashes").Value()
+						revalOK += u.Stats.Counter("revalidations_ok").Value()
+					}
+					return map[string]float64{
+						"squashes": float64(squashes),
+						"reval_ok": float64(revalOK),
+					}
+				}))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// BandwidthComparison (E12) measures memory-module pressure: once the
-// techniques let every processor stream requests, a single bounded-service
-// home module saturates and interleaving lines across several modules
-// restores the bandwidth — the scalability dimension of the DASH-style
-// distributed memory the paper's host machine has (and the reason
-// Stenstrom's centralized NST table "is not scalable", §6).
-func BandwidthComparison(nprocs int) ([]Row, error) {
+// DetectionPolicyComparison executes E11 and returns its rows.
+func DetectionPolicyComparison(nprocs, writes int) ([]Row, error) {
+	return runner.Execute(DetectionPolicyComparisonJobs(nprocs, writes), 0)
+}
+
+// BandwidthComparisonJobs enumerates E12, measuring memory-module
+// pressure: once the techniques let every processor stream requests, a
+// single bounded-service home module saturates and interleaving lines
+// across several modules restores the bandwidth — the scalability
+// dimension of the DASH-style distributed memory the paper's host machine
+// has (and the reason Stenstrom's centralized NST table "is not
+// scalable", §6).
+func BandwidthComparisonJobs(nprocs int) []runner.Job {
 	const lines = 64
-	var rows []Row
-	progs := make([]*isa.Program, nprocs)
-	for p := 0; p < nprocs; p++ {
-		// Disjoint streaming misses: proc p sweeps its own line range.
-		b := isa.NewBuilder()
-		for i := 0; i < lines; i++ {
-			b.LoadAbs(isa.R1, int64(0x100000+p*0x10000+i*4))
+	buildProgs := func() []*isa.Program {
+		progs := make([]*isa.Program, nprocs)
+		for p := 0; p < nprocs; p++ {
+			// Disjoint streaming misses: proc p sweeps its own line range.
+			b := isa.NewBuilder()
+			for i := 0; i < lines; i++ {
+				b.LoadAbs(isa.R1, int64(0x100000+p*0x10000+i*4))
+			}
+			b.Halt()
+			progs[p] = b.Build()
 		}
-		b.Halt()
-		progs[p] = b.Build()
+		return progs
 	}
+	var jobs []runner.Job
 	for _, modules := range []int{1, 4} {
 		for _, bw := range []int{1, 0} {
-			cfg := sim.PaperConfig()
-			cfg.Procs = nprocs
-			cfg.LineWords = 4
-			cfg.Model = core.SC
-			cfg.Tech = TechBoth
-			cfg.MemModules = modules
-			cfg.DirBandwidth = bw
-			s := sim.New(cfg, progs)
-			cycles, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("bandwidth m=%d bw=%d: %w", modules, bw, err)
-			}
 			bwLabel := fmt.Sprint(bw)
 			if bw == 0 {
 				bwLabel = "inf"
 			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"modules": fmt.Sprint(modules), "bw": bwLabel},
-				Cycles: cycles,
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("bandwidth/m%d/bw%s", modules, bwLabel),
+				map[string]string{"modules": fmt.Sprint(modules), "bw": bwLabel},
+				func() *sim.System {
+					cfg := sim.PaperConfig()
+					cfg.Procs = nprocs
+					cfg.LineWords = 4
+					cfg.Model = core.SC
+					cfg.Tech = TechBoth
+					cfg.MemModules = modules
+					cfg.DirBandwidth = bw
+					return sim.New(cfg, buildProgs())
+				}, nil))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// MSHRSweep (E13) varies the number of lockup-free-cache MSHRs under SC
-// with both techniques: §3.2/§4.1 require "a high-bandwidth pipelined
-// memory system, including lockup-free caches, to sustain several
-// outstanding requests" — with a single MSHR the techniques collapse to
-// nearly conventional performance.
-func MSHRSweep(mshrs []int) ([]Row, error) {
+// BandwidthComparison executes E12 and returns its rows.
+func BandwidthComparison(nprocs int) ([]Row, error) {
+	return runner.Execute(BandwidthComparisonJobs(nprocs), 0)
+}
+
+// MSHRSweepJobs enumerates E13: the number of lockup-free-cache MSHRs
+// varied under SC with both techniques. §3.2/§4.1 require "a
+// high-bandwidth pipelined memory system, including lockup-free caches, to
+// sustain several outstanding requests" — with a single MSHR the
+// techniques collapse to nearly conventional performance.
+func MSHRSweepJobs(mshrs []int) []runner.Job {
 	const n = 64
-	var rows []Row
-	prog := workload.ArraySweep(0, n)
+	var jobs []runner.Job
 	for _, m := range mshrs {
 		for _, t := range []core.Technique{TechConv, TechBoth} {
-			cfg := sim.PaperConfig()
-			cfg.Cache.MaxMSHRs = m
-			cfg.Model = core.SC
-			cfg.Tech = t
-			cycles, err := sim.RunProgram(cfg, []*isa.Program{prog})
-			if err != nil {
-				return nil, fmt.Errorf("mshr %d/%v: %w", m, t, err)
-			}
-			rows = append(rows, Row{
-				Labels: map[string]string{"mshrs": fmt.Sprint(m), "tech": t.String()},
-				Cycles: cycles,
-			})
+			jobs = append(jobs, simJob(
+				fmt.Sprintf("mshr/%d/%v", m, t),
+				map[string]string{"mshrs": fmt.Sprint(m), "tech": t.String()},
+				func() *sim.System {
+					cfg := sim.PaperConfig()
+					cfg.Cache.MaxMSHRs = m
+					cfg.Model = core.SC
+					cfg.Tech = t
+					return sim.New(cfg, []*isa.Program{workload.ArraySweep(0, n)})
+				}, nil))
 		}
 	}
-	return rows, nil
+	return jobs
 }
 
-// ReissueAblation (E14) isolates §4.2's second-case optimization: when a
-// coherence transaction matches a speculative load that has NOT yet
-// completed, "only the speculative load needs to be reissued, since the
-// instructions following it have not yet used an incorrect value". Without
-// the optimization every match flushes the pipeline conservatively.
-func ReissueAblation(nprocs int, seed int64) ([]Row, error) {
-	var rows []Row
-	mix := workload.DefaultMix(seed)
-	mix.ShareFrac = 0.5
-	mix.Sync = false // racy sharing keeps lines bouncing mid-flight
-	progs := make([]*isa.Program, nprocs)
-	for p := 0; p < nprocs; p++ {
-		progs[p] = workload.RandomSharing(p, nprocs, mix)
+// MSHRSweep executes E13 and returns its rows.
+func MSHRSweep(mshrs []int) ([]Row, error) {
+	return runner.Execute(MSHRSweepJobs(mshrs), 0)
+}
+
+// ReissueAblationJobs enumerates E14, isolating §4.2's second-case
+// optimization: when a coherence transaction matches a speculative load
+// that has NOT yet completed, "only the speculative load needs to be
+// reissued, since the instructions following it have not yet used an
+// incorrect value". Without the optimization every match flushes the
+// pipeline conservatively.
+func ReissueAblationJobs(nprocs int, seed int64) []runner.Job {
+	buildProgs := func() []*isa.Program {
+		mix := workload.DefaultMix(seed)
+		mix.ShareFrac = 0.5
+		mix.Sync = false // racy sharing keeps lines bouncing mid-flight
+		progs := make([]*isa.Program, nprocs)
+		for p := 0; p < nprocs; p++ {
+			progs[p] = workload.RandomSharing(p, nprocs, mix)
+		}
+		return progs
 	}
 	variants := []struct {
 		name string
@@ -573,26 +657,27 @@ func ReissueAblation(nprocs int, seed int64) ([]Row, error) {
 		{"flush-always", core.Technique{Prefetch: true, SpecLoad: true}},
 		{"reissue-opt", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
 	}
+	var jobs []runner.Job
 	for _, v := range variants {
-		cfg := sim.RealisticConfig()
-		cfg.Procs = nprocs
-		cfg.Model = core.SC
-		cfg.Tech = v.tech
-		s := sim.New(cfg, progs)
-		cycles, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("reissue %s: %w", v.name, err)
-		}
-		var squashes, reissues uint64
-		for _, u := range s.LSUs {
-			squashes += u.Stats.Counter("spec_squashes").Value()
-			reissues += u.Stats.Counter("spec_reissues").Value()
-		}
-		rows = append(rows, Row{
-			Labels: map[string]string{"policy": v.name},
-			Cycles: cycles,
-			Extra:  map[string]float64{"flushes": float64(squashes), "reissues": float64(reissues)},
-		})
+		jobs = append(jobs, simJob(
+			"reissue/"+v.name,
+			map[string]string{"policy": v.name},
+			func() *sim.System {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = nprocs
+				cfg.Model = core.SC
+				cfg.Tech = v.tech
+				return sim.New(cfg, buildProgs())
+			},
+			func(s *sim.System) map[string]float64 {
+				_, squashes, reissues := specStats(s)
+				return map[string]float64{"flushes": float64(squashes), "reissues": float64(reissues)}
+			}))
 	}
-	return rows, nil
+	return jobs
+}
+
+// ReissueAblation executes E14 and returns its rows.
+func ReissueAblation(nprocs int, seed int64) ([]Row, error) {
+	return runner.Execute(ReissueAblationJobs(nprocs, seed), 0)
 }

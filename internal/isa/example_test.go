@@ -1,0 +1,50 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"mcmsim/internal/isa"
+)
+
+// ExampleBuilder assembles a tiny producer: write data, then publish a
+// flag with release semantics. The builder methods chainable-append
+// instructions; Build resolves labels and freezes the program.
+func ExampleBuilder() {
+	b := isa.NewBuilder()
+	b.Li(isa.R1, 42)                 // r1 = 42
+	b.StoreAbs(isa.R1, 0x200)        // mem[0x200] = r1 (the data)
+	b.Li(isa.R2, 1)                  // r2 = 1
+	b.ReleaseStoreAbs(isa.R2, 0x100) // mem[0x100] = r2 (release: the flag)
+	b.Halt()
+	p := b.Build()
+
+	fmt.Print(p.Disassemble())
+	fmt.Println("instructions:", p.Len())
+	// Output:
+	//     0: addi r1, r0, 42
+	//     1: st   r1, 512(r0)
+	//     2: addi r2, r0, 1
+	//     3: st.rel r2, 256(r0)
+	//     4: halt
+	// instructions: 5
+}
+
+// ExampleBuilder_labels assembles the matching consumer: spin on the flag
+// with acquire loads, then read the data. Labels may be referenced before
+// or after they are defined; Build patches the branch offsets.
+func ExampleBuilder_labels() {
+	b := isa.NewBuilder()
+	b.Label("spin")
+	b.AcquireLoadAbs(isa.R3, 0x100) // r3 = mem[0x100] (acquire: the flag)
+	b.Beqz(isa.R3, "spin")          // retry until the flag is set
+	b.LoadAbs(isa.R4, 0x200)        // r4 = mem[0x200] (the data)
+	b.Halt()
+
+	fmt.Print(b.Build().Disassemble())
+	// Output:
+	// spin:
+	//     0: ld.acq r3, 256(r0)
+	//     1: beqz r3, @0
+	//     2: ld   r4, 512(r0)
+	//     3: halt
+}

@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a named group of rows — one experiment's result set. The
+// formatters below render a report of one or more tables; cmd/sweep, the
+// benchmarks and the determinism tests all share them, so every consumer
+// sees byte-identical output for identical rows.
+type Table struct {
+	Name string `json:"experiment"`
+	Rows []Row  `json:"rows"`
+}
+
+// Formats accepted by WriteReport.
+const (
+	FormatTable = "table"
+	FormatJSON  = "json"
+	FormatCSV   = "csv"
+)
+
+// CheckFormat reports whether WriteReport accepts the format. Callers that
+// run expensive jobs before rendering should check up front so a typo fails
+// before the work, not after.
+func CheckFormat(format string) error {
+	switch format {
+	case FormatTable, "", FormatJSON, FormatCSV:
+		return nil
+	}
+	return fmt.Errorf("runner: unknown format %q (want table, json or csv)", format)
+}
+
+// WriteReport renders the tables in the requested format. Output depends
+// only on the table contents: label and extra columns are emitted in sorted
+// order and rows in slice order, so a report is deterministic whenever the
+// rows are.
+func WriteReport(w io.Writer, format string, tables []Table) error {
+	if err := CheckFormat(format); err != nil {
+		return err
+	}
+	switch format {
+	case FormatJSON:
+		return writeJSON(w, tables)
+	case FormatCSV:
+		return writeCSV(w, tables)
+	default:
+		return writeTables(w, tables)
+	}
+}
+
+// labelColumns returns the union of label (or extra) keys over rows, sorted.
+func labelColumns(rows []Row) (labels, extras []string) {
+	ls := map[string]bool{}
+	xs := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Labels {
+			ls[k] = true
+		}
+		for k := range r.Extra {
+			xs[k] = true
+		}
+	}
+	return sortedKeys(ls), sortedKeys(xs)
+}
+
+// writeTables renders each table as an aligned text table under a
+// "== name ==" heading (the historical cmd/sweep format).
+func writeTables(w io.Writer, tables []Table) error {
+	for _, t := range tables {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Name); err != nil {
+			return err
+		}
+		if err := WriteTable(w, t.Rows); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders one row set as an aligned table with a stable column
+// order: sorted label columns, then cycles, then sorted extra columns.
+func WriteTable(w io.Writer, rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	labels, extras := labelColumns(rows)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := append(append([]string{}, labels...), "cycles")
+	header = append(header, extras...)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		parts := make([]string, 0, len(header))
+		for _, c := range labels {
+			parts = append(parts, r.Labels[c])
+		}
+		parts = append(parts, fmt.Sprint(r.Cycles))
+		for _, x := range extras {
+			parts = append(parts, fmt.Sprintf("%.4f", r.Extra[x]))
+		}
+		fmt.Fprintln(tw, strings.Join(parts, "\t"))
+	}
+	return tw.Flush()
+}
+
+// writeJSON emits the tables as an indented JSON array. Go marshals maps
+// with sorted keys, so the encoding is deterministic.
+func writeJSON(w io.Writer, tables []Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
+}
+
+// writeCSV emits one flat CSV: an experiment column, the union of all label
+// columns, cycles, and the union of all extra columns. Cells a row does not
+// define are empty, which keeps heterogeneous experiments in one archive
+// file without inventing values.
+func writeCSV(w io.Writer, tables []Table) error {
+	var all []Row
+	for _, t := range tables {
+		all = append(all, t.Rows...)
+	}
+	labels, extras := labelColumns(all)
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, labels...)
+	header = append(header, "cycles")
+	header = append(header, extras...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			rec := make([]string, 0, len(header))
+			rec = append(rec, t.Name)
+			for _, c := range labels {
+				rec = append(rec, r.Labels[c])
+			}
+			rec = append(rec, fmt.Sprint(r.Cycles))
+			for _, x := range extras {
+				if v, ok := r.Extra[x]; ok {
+					rec = append(rec, fmt.Sprintf("%.4f", v))
+				} else {
+					rec = append(rec, "")
+				}
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTables() []Table {
+	return []Table{
+		{
+			Name: "latency",
+			Rows: []Row{
+				{Labels: map[string]string{"model": "SC", "miss": "100"}, Cycles: 24363},
+				{Labels: map[string]string{"model": "RC", "miss": "100"}, Cycles: 14148},
+			},
+		},
+		{
+			Name: "contention",
+			Rows: []Row{
+				{Labels: map[string]string{"share": "0.40"}, Cycles: 10102,
+					Extra: map[string]float64{"squash_rate": 0.086}},
+			},
+		},
+	}
+}
+
+func render(t *testing.T, format string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteReport(&b, format, sampleTables()); err != nil {
+		t.Fatalf("WriteReport(%s): %v", format, err)
+	}
+	return b.String()
+}
+
+func TestWriteTableFormat(t *testing.T) {
+	out := render(t, FormatTable)
+	for _, want := range []string{"== latency ==", "miss  model  cycles", "100   SC     24363", "== contention ==", "squash_rate", "0.0860"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONFormat(t *testing.T) {
+	out := render(t, FormatJSON)
+	var decoded []Table
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 2 || decoded[0].Name != "latency" || decoded[1].Rows[0].Cycles != 10102 {
+		t.Errorf("JSON round trip mangled tables: %+v", decoded)
+	}
+	if decoded[0].Rows[0].Labels["model"] != "SC" {
+		t.Errorf("labels lost in JSON: %+v", decoded[0].Rows[0])
+	}
+}
+
+func TestWriteCSVFormat(t *testing.T) {
+	out := render(t, FormatCSV)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 records, got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "experiment,miss,model,share,cycles,squash_rate" {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if lines[1] != "latency,100,SC,,24363," {
+		t.Errorf("unexpected first record %q", lines[1])
+	}
+	if lines[3] != "contention,,,0.40,10102,0.0860" {
+		t.Errorf("unexpected contention record %q", lines[3])
+	}
+}
+
+func TestWriteReportUnknownFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WriteReport(&b, "yaml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRowStringSorted(t *testing.T) {
+	r := Row{
+		Labels: map[string]string{"b": "2", "a": "1"},
+		Cycles: 7,
+		Extra:  map[string]float64{"z": 1, "y": 0.5},
+	}
+	want := "a=1 b=2 cycles=7 y=0.5000 z=1.0000"
+	if got := r.String(); got != want {
+		t.Errorf("Row.String() = %q, want %q", got, want)
+	}
+}

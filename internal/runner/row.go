@@ -1,0 +1,40 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one measurement produced by a job: a labelled configuration and
+// its simulated cycle count plus optional derived rates. It is the common
+// currency between the experiment enumerators (internal/experiments), the
+// execution engine (this package) and the output formatters.
+type Row struct {
+	Labels map[string]string  `json:"labels"`
+	Cycles uint64             `json:"cycles"`
+	Extra  map[string]float64 `json:"extra,omitempty"`
+}
+
+// String renders the row with its label and extra keys in sorted order, so
+// logging a row is as deterministic as the simulation that produced it.
+func (r Row) String() string {
+	var b strings.Builder
+	for _, k := range sortedKeys(r.Labels) {
+		fmt.Fprintf(&b, "%s=%s ", k, r.Labels[k])
+	}
+	fmt.Fprintf(&b, "cycles=%d", r.Cycles)
+	for _, k := range sortedKeys(r.Extra) {
+		fmt.Fprintf(&b, " %s=%.4f", k, r.Extra[k])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"mcmsim/internal/sim"
+)
+
+// Job is one independent simulation to execute: a human-readable name, an
+// optional Configure step that assembles (and possibly warms up) the
+// machine, and a Run step that drives it and extracts the measurement.
+//
+// Both steps execute on the worker that picks the job up, so every worker
+// constructs its own sim.System and no machine state is ever shared between
+// jobs. A job must therefore not capture mutable state shared with other
+// jobs; capturing configuration values (model, technique, latencies, seeds)
+// is the intended pattern.
+type Job struct {
+	// Name identifies the job in progress reports and error messages,
+	// conventionally "experiment/label1/label2".
+	Name string
+
+	// Configure builds the simulated machine, including any warmup runs
+	// (e.g. priming caches before the measured phase). It may be nil for
+	// jobs that assemble the system inside Run; then Run receives nil.
+	Configure func() (*sim.System, error)
+
+	// Run drives the configured system to completion and returns the
+	// measurement row. It must be non-nil.
+	Run func(s *sim.System) (Row, error)
+}
+
+// Result is the outcome of one job. Exactly one of Row/Err is meaningful:
+// Err is non-nil if Configure or Run failed or panicked.
+type Result struct {
+	Name string
+	Row  Row
+	Err  error
+	// Wall is the host wall-clock time the job took (configure + run).
+	Wall time.Duration
+}
+
+// Progress describes one completed job, delivered to Options.OnProgress in
+// completion order. Done counts completed jobs including this one.
+type Progress struct {
+	Done, Total int
+	Name        string
+	Cycles      uint64 // simulated cycles of the job's measured run
+	Wall        time.Duration
+	Err         error
+}
+
+// Options controls Run.
+type Options struct {
+	// Workers bounds the number of jobs executing concurrently.
+	// Values <= 0 mean runtime.NumCPU().
+	Workers int
+
+	// OnProgress, if non-nil, is called after each job completes. Calls
+	// are serialized (never concurrent) but arrive in completion order,
+	// which is not deterministic; anything order-sensitive should read
+	// the returned results instead.
+	OnProgress func(Progress)
+}
+
+// Run executes the jobs on a bounded worker pool and returns one Result
+// per job, in job order regardless of completion order. Each simulation
+// stays single-goroutine: parallelism is across jobs only. A panic inside
+// a job is recovered into that job's Err; it never takes down the pool.
+func Run(jobs []Job, opts Options) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	jobCh := make(chan int)
+	doneCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobCh {
+				results[i] = runOne(jobs[i])
+				doneCh <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			jobCh <- i
+		}
+		close(jobCh)
+	}()
+	for done := 1; done <= len(jobs); done++ {
+		i := <-doneCh
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{
+				Done:   done,
+				Total:  len(jobs),
+				Name:   results[i].Name,
+				Cycles: results[i].Row.Cycles,
+				Wall:   results[i].Wall,
+				Err:    results[i].Err,
+			})
+		}
+	}
+	return results
+}
+
+// runOne executes a single job with panic containment.
+func runOne(j Job) (res Result) {
+	start := time.Now()
+	res.Name = j.Name
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	var s *sim.System
+	if j.Configure != nil {
+		var err error
+		if s, err = j.Configure(); err != nil {
+			res.Err = err
+			return
+		}
+	}
+	row, err := j.Run(s)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Row = row
+	return
+}
+
+// Rows collapses results into their rows, preserving job order. The first
+// failed job aborts the collapse and is returned as an error carrying the
+// job's name.
+func Rows(results []Result) ([]Row, error) {
+	rows := make([]Row, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		rows = append(rows, r.Row)
+	}
+	return rows, nil
+}
+
+// Execute is the common enumerate-then-collect path: run the jobs with the
+// given worker bound and return the rows in job order.
+func Execute(jobs []Job, workers int) ([]Row, error) {
+	return Rows(Run(jobs, Options{Workers: workers}))
+}

@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+)
+
+// rowJob returns a job that sleeps and then yields a row tagged i.
+func rowJob(i int, sleep time.Duration) Job {
+	return Job{
+		Name: fmt.Sprintf("job%d", i),
+		Run: func(*sim.System) (Row, error) {
+			time.Sleep(sleep)
+			return Row{Labels: map[string]string{"i": fmt.Sprint(i)}, Cycles: uint64(i)}, nil
+		},
+	}
+}
+
+// TestOrderPreserved runs jobs whose completion order is the reverse of
+// their submission order and checks the results still come back in job
+// order.
+func TestOrderPreserved(t *testing.T) {
+	var jobs []Job
+	const n = 8
+	for i := 0; i < n; i++ {
+		// Earlier jobs sleep longer, so later jobs finish first.
+		jobs = append(jobs, rowJob(i, time.Duration(n-i)*time.Millisecond))
+	}
+	results := Run(jobs, Options{Workers: n})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.Name != fmt.Sprintf("job%d", i) || r.Row.Cycles != uint64(i) {
+			t.Errorf("result %d is %s/cycles=%d, want job%d/cycles=%d", i, r.Name, r.Row.Cycles, i, i)
+		}
+	}
+}
+
+// TestPanicContained checks a panicking job becomes an error result with a
+// stack trace and does not disturb its neighbours.
+func TestPanicContained(t *testing.T) {
+	jobs := []Job{
+		rowJob(0, 0),
+		{Name: "boom", Run: func(*sim.System) (Row, error) { panic("kaboom") }},
+		rowJob(2, 0),
+	}
+	results := Run(jobs, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	err := results[1].Err
+	if err == nil {
+		t.Fatal("panic not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "runner_test.go") {
+		t.Errorf("panic error missing message or stack: %v", err)
+	}
+	if _, rerr := Rows(results); rerr == nil || !strings.Contains(rerr.Error(), "boom") {
+		t.Errorf("Rows should surface the failed job by name, got %v", rerr)
+	}
+}
+
+// TestConfigureError checks a failing Configure is attributed to its job
+// and skips Run.
+func TestConfigureError(t *testing.T) {
+	sentinel := errors.New("no machine")
+	ran := false
+	jobs := []Job{{
+		Name:      "cfgfail",
+		Configure: func() (*sim.System, error) { return nil, sentinel },
+		Run: func(*sim.System) (Row, error) {
+			ran = true
+			return Row{}, nil
+		},
+	}}
+	results := Run(jobs, Options{Workers: 1})
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Errorf("Configure error lost: %v", results[0].Err)
+	}
+	if ran {
+		t.Error("Run executed after Configure failed")
+	}
+}
+
+// TestProgress checks the progress callback fires exactly once per job
+// with a monotonically increasing done count.
+func TestProgress(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, rowJob(i, time.Millisecond))
+	}
+	seen := map[string]int{}
+	lastDone := 0
+	Run(jobs, Options{Workers: 3, OnProgress: func(p Progress) {
+		// OnProgress calls are serialized by the collector, so plain
+		// (non-atomic) state is safe here; the race detector verifies.
+		seen[p.Name]++
+		if p.Done != lastDone+1 || p.Total != len(jobs) {
+			t.Errorf("progress done=%d total=%d after done=%d", p.Done, p.Total, lastDone)
+		}
+		lastDone = p.Done
+	}})
+	if len(seen) != len(jobs) {
+		t.Fatalf("progress saw %d distinct jobs, want %d", len(seen), len(jobs))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("job %s reported %d times", name, n)
+		}
+	}
+}
+
+// TestEmptyAndDefaults covers the edge cases: no jobs, zero/negative
+// worker counts, more workers than jobs.
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Errorf("empty job list produced %d results", len(got))
+	}
+	for _, workers := range []int{-1, 0, 1, 100} {
+		results := Run([]Job{rowJob(0, 0)}, Options{Workers: workers})
+		if results[0].Err != nil || results[0].Row.Cycles != 0 {
+			t.Errorf("workers=%d: unexpected result %+v", workers, results[0])
+		}
+	}
+}
+
+// example1Job builds the paper's Example 1 producer under SC with the given
+// technique set — a real end-to-end simulation used to prove worker
+// isolation under the race detector.
+func example1Job(name string, tech core.Technique) Job {
+	return Job{
+		Name: name,
+		Configure: func() (*sim.System, error) {
+			b := isa.NewBuilder()
+			b.Li(isa.R2, 1)
+			b.Lock(isa.R1, 0x100)
+			b.StoreAbs(isa.R2, 0x110)
+			b.StoreAbs(isa.R2, 0x120)
+			b.Unlock(0x100)
+			b.Halt()
+			cfg := sim.PaperConfig()
+			cfg.Model = core.SC
+			cfg.Tech = tech
+			return sim.New(cfg, []*isa.Program{b.Build()}), nil
+		},
+		Run: func(s *sim.System) (Row, error) {
+			cycles, err := s.Run()
+			if err != nil {
+				return Row{}, err
+			}
+			return Row{Labels: map[string]string{"tech": tech.String()}, Cycles: cycles}, nil
+		},
+	}
+}
+
+// TestParallelMatchesSerial runs a grid of real simulations serially and
+// on a saturated pool and requires identical results — the determinism
+// contract the sweeps rely on. Run under -race this also proves the
+// workers share no simulator state.
+func TestParallelMatchesSerial(t *testing.T) {
+	var jobs []Job
+	techs := []core.Technique{
+		{},
+		{Prefetch: true},
+		{SpecLoad: true, ReissueOpt: true},
+		{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+	}
+	for rep := 0; rep < 4; rep++ {
+		for _, tech := range techs {
+			jobs = append(jobs, example1Job(fmt.Sprintf("ex1/%d/%v", rep, tech), tech))
+		}
+	}
+	serial, err := Rows(Run(jobs, Options{Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Rows(Run(jobs, Options{Workers: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel run diverged from serial:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+	// The simulated counts themselves are pinned by the paper: 301
+	// conventional, 103 with prefetch.
+	if serial[0].Cycles != 301 {
+		t.Errorf("conventional SC Example 1 = %d cycles, want 301", serial[0].Cycles)
+	}
+	if serial[1].Cycles != 103 {
+		t.Errorf("prefetch SC Example 1 = %d cycles, want 103", serial[1].Cycles)
+	}
+}
