@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmtcheck build test race bench sweep fmt
+.PHONY: check vet fmtcheck build test race differential bench sweep fmt
 
-check: vet fmtcheck build test race
+check: vet fmtcheck build test race differential
 	@echo "check: OK"
 
 vet:
@@ -31,9 +31,18 @@ test:
 race:
 	$(GO) test -race ./internal/runner ./internal/sim
 
-# Regenerate every figure/experiment headline via the benchmark harness.
+# The fast-forward differential tier: the idle-cycle scheduler must be
+# observationally identical to stepping every cycle — across the model x
+# technique grid, the full experiment suite in every output format, and
+# the Figure 5 cycle-level trace.
+differential:
+	$(GO) test -run 'TestFastForward' ./internal/sim ./internal/experiments
+
+# Regenerate every figure/experiment headline via the benchmark harness,
+# archiving the results (ns/op, allocs/op, simulated cycles/sec) as
+# machine-readable JSON in BENCH_sim.json.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # The full evaluation suite on all CPUs.
 sweep:

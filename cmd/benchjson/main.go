@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON file, so benchmark results can be
+// archived and diffed across commits. It understands the standard
+// benchmark line format
+//
+//	BenchmarkName-8   	 1000	 123456 ns/op	 12 B/op	 3 allocs/op	 42.0 cycles
+//
+// capturing ns/op, B/op, allocs/op and every custom b.ReportMetric unit
+// (cycles, simcycles/s, ...) into a per-benchmark metrics map. Non-bench
+// lines (PASS, ok, goos/goarch headers) pass through to stderr untouched
+// so the human-readable run log is not lost.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the trimmed name (GOMAXPROCS suffix kept,
+// it is part of the identity), the iteration count, and every reported
+// metric keyed by its unit.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON file")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+		// Mirror everything so the pipe stays as readable as the bare run.
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line. The format is
+// whitespace-separated: name, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

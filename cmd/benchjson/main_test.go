@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkStepDense-8   \t      12\t  98765432 ns/op\t  1024 B/op\t  7 allocs/op\t  1234567 simcycles/s")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkStepDense-8" || r.Runs != 12 {
+		t.Errorf("name/runs = %q/%d", r.Name, r.Runs)
+	}
+	want := map[string]float64{"ns/op": 98765432, "B/op": 1024, "allocs/op": 7, "simcycles/s": 1234567}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmcmsim\t12.3s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted non-benchmark line %q", line)
+		}
+	}
+}

@@ -42,8 +42,18 @@ func main() {
 		seed      = flag.Int64("seed", 7, "seed for randomized workloads")
 		showStats = flag.Bool("stats", false, "print component statistics after the run")
 		disasm    = flag.Bool("disasm", false, "print the program(s) before running")
+		dense     = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	sim.ForceDense = *dense
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	m, err := core.ParseModel(*model)
 	if err != nil {

@@ -25,6 +25,9 @@
 //	-format table|json|csv
 //	-out FILE         write the report to FILE instead of stdout
 //	-quiet            suppress the per-job progress log on stderr
+//	-dense            step every cycle (disable idle-cycle fast-forward)
+//	-cpuprofile FILE  write a pprof CPU profile
+//	-memprofile FILE  write a pprof heap profile at exit
 //
 // Progress (jobs done/total, per-job simulated cycles and wall time) goes
 // to stderr; the report goes to stdout or -out, so archived tables never
@@ -41,23 +44,35 @@ import (
 
 	"mcmsim/internal/experiments"
 	"mcmsim/internal/runner"
+	"mcmsim/internal/sim"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.SuiteNames(), ", ")+", or all; comma-separated lists are accepted")
-		procs  = flag.Int("procs", 3, "processors for the workload experiments")
-		seed   = flag.Int64("seed", 7, "workload seed")
-		jobs   = flag.Int("j", runtime.NumCPU(), "worker-pool size (simulations run concurrently; <=0 means all CPUs)")
-		format = flag.String("format", "table", "output format: table, json, csv")
-		out    = flag.String("out", "", "write the report to this file instead of stdout")
-		quiet  = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		exp     = flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.SuiteNames(), ", ")+", or all; comma-separated lists are accepted")
+		procs   = flag.Int("procs", 3, "processors for the workload experiments")
+		seed    = flag.Int64("seed", 7, "workload seed")
+		jobs    = flag.Int("j", runtime.NumCPU(), "worker-pool size (simulations run concurrently; <=0 means all CPUs)")
+		format  = flag.String("format", "table", "output format: table, json, csv")
+		out     = flag.String("out", "", "write the report to this file instead of stdout")
+		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		dense   = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet); err != nil {
+	sim.ForceDense = *dense
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
+	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet); err != nil {
+		stopProf()
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	stopProf()
 }
 
 func run(exp string, params experiments.Params, workers int, format, out string, quiet bool) error {

@@ -149,7 +149,7 @@ func (c *Cache) sendUpdateReq(req Request, now uint64) {
 	if req.Kind == ReqRMW {
 		rmwWire = uint64(req.RMW) + 1
 	}
-	c.net.Send(&network.Message{
+	c.net.Post(network.Message{
 		Type: network.MsgUpdateReq, Src: c.ID, Dst: c.homeFor(c.geom.LineOf(req.Addr)),
 		Line: c.geom.LineOf(req.Addr), Word: req.Addr, Value: req.Data, SeqNo: rmwWire,
 	}, now)
@@ -173,7 +173,7 @@ func (c *Cache) startMiss(req Request, lineAddr uint64, exclusive, prefetch bool
 	if exclusive {
 		typ = network.MsgGetX
 	}
-	c.net.Send(&network.Message{
+	c.net.Post(network.Message{
 		Type: typ, Src: c.ID, Dst: c.homeFor(lineAddr), Line: lineAddr,
 	}, now)
 	if prefetch {

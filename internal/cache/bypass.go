@@ -35,21 +35,21 @@ func (c *Cache) bypassAccess(req Request, now uint64) Result {
 	// The FIFO network plays the role of the next-sequence-number table:
 	// requests arrive at the module in issue order, so no explicit sequence
 	// numbers are needed. SeqNo carries only the RMW wire encoding.
-	var m *network.Message
+	var m network.Message
 	home := c.homeFor(c.geom.LineOf(req.Addr))
 	switch req.Kind {
 	case ReqRead, ReqReadEx:
-		m = &network.Message{
+		m = network.Message{
 			Type: network.MsgMemRead, Src: c.ID, Dst: home,
 			Word: req.Addr, Tag: req.ID,
 		}
 	case ReqWrite:
-		m = &network.Message{
+		m = network.Message{
 			Type: network.MsgMemWrite, Src: c.ID, Dst: home,
 			Word: req.Addr, Value: req.Data, Tag: req.ID,
 		}
 	case ReqRMW:
-		m = &network.Message{
+		m = network.Message{
 			Type: network.MsgMemWrite, Src: c.ID, Dst: home,
 			Word: req.Addr, Value: req.Data, Tag: req.ID,
 			SeqNo: uint64(req.RMW) + 1, // RMW wire encoding
@@ -60,7 +60,7 @@ func (c *Cache) bypassAccess(req Request, now uint64) Result {
 	default:
 		panic(fmt.Sprintf("cache: bypass cannot handle %v", req.Kind))
 	}
-	c.net.Send(m, now)
+	c.net.Post(m, now)
 	c.nstOutstanding++
 	c.Stats.Counter("nst_requests").Inc()
 	return Miss

@@ -365,3 +365,25 @@ func (c *Cache) PendingWork() bool {
 	return len(c.completions) > 0 || len(c.mshrs) > 0 || len(c.wb) > 0 ||
 		len(c.xacts) > 0 || len(c.retryInstalls) > 0 || c.nstOutstanding > 0
 }
+
+// NextWake reports when the cache's own clock next matters: a stalled
+// install retries every cycle (and counts the retry in its stats, so the
+// dense loop must run), and a scheduled hit completion fires at its
+// recorded cycle. MSHRs, writebacks and update transactions advance only on
+// message arrival, which the simulator tracks via Network.NextDelivery.
+func (c *Cache) NextWake(now uint64) (uint64, bool) {
+	if len(c.retryInstalls) > 0 {
+		return now, true
+	}
+	var wake uint64
+	ok := false
+	for _, comp := range c.completions {
+		if comp.at <= now {
+			return now, true
+		}
+		if !ok || comp.at < wake {
+			wake, ok = comp.at, true
+		}
+	}
+	return wake, ok
+}

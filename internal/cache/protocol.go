@@ -223,7 +223,7 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 		// exclusivity, carrying the unserved writes as waiters.
 		nm := &mshr{lineAddr: ms.lineAddr, exclusive: true, waiters: escalated}
 		c.mshrs[ms.lineAddr] = nm
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgGetX, Src: c.ID, Dst: c.homeFor(ms.lineAddr), Line: ms.lineAddr,
 		}, now)
 		c.Stats.Counter("escalations").Inc()
@@ -303,12 +303,12 @@ func (c *Cache) evict(l *line, now uint64) {
 	c.Stats.Counter("evictions").Inc()
 	if l.state == Modified {
 		c.wb[l.addr] = &wbEntry{data: append([]int64(nil), l.data...)}
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(l.addr),
 			Line: l.addr, Data: append([]int64(nil), l.data...), Tag: l.grantVer,
 		}, now)
 	} else {
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgReplaceHint, Src: c.ID, Dst: c.homeFor(l.addr), Line: l.addr,
 		}, now)
 	}
@@ -324,7 +324,7 @@ func (c *Cache) evict(l *line, now uint64) {
 // speculative-load buffer, which squashes on the event). Application is
 // deferred if a fill is pending, ordered by version.
 func (c *Cache) handleInv(m *network.Message, now uint64) {
-	c.net.Send(&network.Message{
+	c.net.Post(network.Message{
 		Type: network.MsgInvAck, Src: c.ID, Dst: m.Requester, Line: m.Line, Tag: m.Tag,
 	}, now)
 	if ms, ok := c.mshrs[m.Line]; ok {
@@ -347,7 +347,7 @@ func (c *Cache) applyInvalidate(lineAddr uint64, now uint64) {
 
 // handleUpdate processes a word update from the update protocol.
 func (c *Cache) handleUpdate(m *network.Message, now uint64) {
-	c.net.Send(&network.Message{
+	c.net.Post(network.Message{
 		Type: network.MsgUpdateAck, Src: c.ID, Dst: m.Requester, Line: m.Line, Tag: m.Tag,
 	}, now)
 	if ms, ok := c.mshrs[m.Line]; ok {
@@ -435,7 +435,7 @@ func (c *Cache) completeUpdateXacts(now uint64) {
 func (c *Cache) handleRecall(m *network.Message, now uint64) {
 	if wbe, ok := c.wb[m.Line]; ok {
 		// AckCount=0 tells the directory the responder retains no copy.
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(m.Line),
 			Line: m.Line, Data: append([]int64(nil), wbe.data...), Tag: m.Tag, AckCount: 0,
 		}, now)
@@ -454,7 +454,7 @@ func (c *Cache) respondRecall(lineAddr uint64, typ network.MsgType, tag uint64, 
 		if typ == network.MsgRecallShare {
 			retained = 1
 		}
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(lineAddr),
 			Line: lineAddr, Data: append([]int64(nil), l.data...), Tag: tag, AckCount: retained,
 		}, now)
@@ -467,7 +467,7 @@ func (c *Cache) respondRecall(lineAddr uint64, typ network.MsgType, tag uint64, 
 		return
 	}
 	if wbe, ok := c.wb[lineAddr]; ok {
-		c.net.Send(&network.Message{
+		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(lineAddr),
 			Line: lineAddr, Data: append([]int64(nil), wbe.data...), Tag: tag, AckCount: 0,
 		}, now)

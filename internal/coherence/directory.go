@@ -86,6 +86,7 @@ type Directory struct {
 	// Overflow waits in the ingress queue; Tick drains it.
 	MaxPerCycle int
 	ingress     []*network.Message
+	batch       []*network.Message // Tick scratch, reused across cycles
 }
 
 // New creates a directory attached to the network at node id.
@@ -120,12 +121,18 @@ func (d *Directory) line(addr uint64) *dirLine {
 
 // HandleMessage implements network.Handler. With unlimited bandwidth the
 // message is serviced on delivery; with a service bound it queues for Tick.
+// Any message the directory keeps past this call (ingress, a busy line's
+// waitQ, a recall's pendingReq) is retained so the network's message pool
+// does not reclaim it; the directory recycles it once fully served.
 func (d *Directory) HandleMessage(m *network.Message, now uint64) {
 	if d.MaxPerCycle > 0 {
+		m.Retain()
 		d.ingress = append(d.ingress, m)
 		return
 	}
-	d.dispatch(m, now)
+	if d.dispatch(m, now) {
+		m.Retain()
+	}
 }
 
 // Tick services up to MaxPerCycle queued messages. A no-op with unlimited
@@ -140,17 +147,23 @@ func (d *Directory) Tick(now uint64) {
 	}
 	// Copy the batch before compacting: the compaction reuses the slots the
 	// batch would otherwise alias.
-	batch := append([]*network.Message(nil), d.ingress[:n]...)
+	batch := append(d.batch[:0], d.ingress[:n]...)
 	d.ingress = d.ingress[:copy(d.ingress, d.ingress[n:])]
 	for _, m := range batch {
-		d.dispatch(m, now)
+		if !d.dispatch(m, now) {
+			d.net.Recycle(m)
+		}
 	}
+	d.batch = batch[:0]
 	if n > 0 {
 		d.Stats.Counter("serviced").Add(uint64(n))
 	}
 }
 
-func (d *Directory) dispatch(m *network.Message, now uint64) {
+// dispatch serves one delivered message. It reports whether the directory
+// kept a reference to m (queued on a busy line or held as a recall's
+// pending request); the caller owns m's pool lifetime otherwise.
+func (d *Directory) dispatch(m *network.Message, now uint64) bool {
 	if DebugTraceLine != 0 && m.Line == DebugTraceLine {
 		l := d.line(m.Line)
 		if len(m.Data) > 0 {
@@ -165,9 +178,9 @@ func (d *Directory) dispatch(m *network.Message, now uint64) {
 		if l.busy {
 			l.waitQ = append(l.waitQ, m)
 			d.Stats.Counter("queued_requests").Inc()
-			return
+			return true
 		}
-		d.process(l, m, now)
+		return d.process(l, m, now)
 	case MsgWriteBack:
 		d.handleWriteBack(m, now)
 	case network.MsgMemRead:
@@ -175,7 +188,7 @@ func (d *Directory) dispatch(m *network.Message, now uint64) {
 		// memory module; FIFO delivery preserves each processor's program
 		// order, which is what the next-sequence-number table guarantees.
 		d.Stats.Counter("nst_reads").Inc()
-		d.net.SendAfter(&network.Message{
+		d.net.PostAfter(network.Message{
 			Type: network.MsgMemRdResp, Src: d.ID, Dst: m.Src,
 			Word: m.Word, Value: d.mem.ReadWord(m.Word), Tag: m.Tag,
 		}, now, d.memLat)
@@ -187,7 +200,7 @@ func (d *Directory) dispatch(m *network.Message, now uint64) {
 			newVal = rmwKindFromWire(m.SeqNo).Apply(old, m.Value)
 		}
 		d.mem.WriteWord(m.Word, newVal)
-		d.net.SendAfter(&network.Message{
+		d.net.PostAfter(network.Message{
 			Type: network.MsgMemWrAck, Src: d.ID, Dst: m.Src,
 			Word: m.Word, Value: old, Tag: m.Tag,
 		}, now, d.memLat)
@@ -202,6 +215,7 @@ func (d *Directory) dispatch(m *network.Message, now uint64) {
 	default:
 		panic(fmt.Sprintf("directory: unexpected message %v from %d", m.Type, m.Src))
 	}
+	return false
 }
 
 // Aliases so callers read naturally; the canonical constants live in the
@@ -224,21 +238,22 @@ const (
 )
 
 // process serves one request on a non-busy line. It may mark the line busy
-// (owner recall) in which case completion continues in handleWriteBack.
-func (d *Directory) process(l *dirLine, m *network.Message, now uint64) {
+// (owner recall) in which case completion continues in handleWriteBack; the
+// return reports whether m was kept as that recall's pending request.
+func (d *Directory) process(l *dirLine, m *network.Message, now uint64) bool {
 	switch m.Type {
 	case MsgGetS:
-		d.processGetS(l, m, now)
+		return d.processGetS(l, m, now)
 	case MsgGetX:
-		d.processGetX(l, m, now)
+		return d.processGetX(l, m, now)
 	case MsgUpdateReq:
-		d.processUpdate(l, m, now)
+		return d.processUpdate(l, m, now)
 	default:
 		panic(fmt.Sprintf("directory: cannot process %v", m.Type))
 	}
 }
 
-func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) {
+func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) bool {
 	d.Stats.Counter("gets").Inc()
 	switch l.state {
 	case dirUncached, dirShared:
@@ -248,18 +263,20 @@ func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) {
 		l.state = dirShared
 		l.sharers[m.Src] = true
 		l.ver++
-		d.net.SendAfter(&network.Message{
+		d.net.PostAfter(network.Message{
 			Type: MsgData, Src: d.ID, Dst: m.Src,
 			Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver,
 		}, now, d.memLat)
-	case dirExclusive:
+		return false
+	default: // dirExclusive
 		// Recall the dirty line from its owner; the transaction completes
 		// when the owner's WriteBack arrives.
 		d.beginRecall(l, m, MsgRecallShare, now)
+		return true
 	}
 }
 
-func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) {
+func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) bool {
 	d.Stats.Counter("getx").Inc()
 	switch l.state {
 	case dirUncached, dirShared:
@@ -270,7 +287,7 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) {
 				continue
 			}
 			acks++
-			d.net.Send(&network.Message{
+			d.net.Post(network.Message{
 				Type: MsgInv, Src: d.ID, Dst: s,
 				Line: m.Line, Tag: l.ver, Requester: m.Src,
 			}, now)
@@ -281,15 +298,17 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) {
 		}
 		l.state = dirExclusive
 		l.owner = m.Src
-		d.net.SendAfter(&network.Message{
+		d.net.PostAfter(network.Message{
 			Type: MsgDataEx, Src: d.ID, Dst: m.Src,
 			Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: acks,
 		}, now, d.memLat)
-	case dirExclusive:
+		return false
+	default: // dirExclusive
 		if l.owner == m.Src {
 			panic("directory: GetX from current owner")
 		}
 		d.beginRecall(l, m, MsgRecallInv, now)
+		return true
 	}
 }
 
@@ -298,14 +317,15 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) {
 // is used only by cacheless agents (the experiment harness's adversary
 // writer and the NST comparator do not use it; see package agent): the write
 // is applied to memory and all cached copies are invalidated or recalled.
-func (d *Directory) processUpdate(l *dirLine, m *network.Message, now uint64) {
+func (d *Directory) processUpdate(l *dirLine, m *network.Message, now uint64) bool {
 	d.Stats.Counter("updates").Inc()
 	if d.protocol == ProtoInvalidate && l.state == dirExclusive {
 		// Must recall the dirty copy before memory can be written.
 		d.beginRecall(l, m, MsgRecallInv, now)
-		return
+		return true
 	}
 	d.finishUpdate(l, m, now)
+	return false
 }
 
 // finishUpdate applies a word write at memory and propagates it to sharers.
@@ -329,7 +349,7 @@ func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
 		if d.protocol == ProtoInvalidate {
 			typ = MsgInv
 		}
-		d.net.Send(&network.Message{
+		d.net.Post(network.Message{
 			Type: typ, Src: d.ID, Dst: s,
 			Line: m.Line, Word: m.Word, Value: newVal, Tag: l.ver, Requester: m.Src,
 		}, now)
@@ -340,7 +360,7 @@ func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
 		}
 		l.state = dirUncached
 	}
-	d.net.SendAfter(&network.Message{
+	d.net.PostAfter(network.Message{
 		Type: MsgUpdateDone, Src: d.ID, Dst: m.Src,
 		Line: m.Line, Word: m.Word, Value: old, Tag: l.ver, AckCount: acks,
 	}, now, d.memLat)
@@ -352,7 +372,7 @@ func (d *Directory) beginRecall(l *dirLine, m *network.Message, recall network.M
 	l.busy = true
 	l.recallTag = l.ver
 	l.pendingReq = m
-	d.net.Send(&network.Message{
+	d.net.Post(network.Message{
 		Type: recall, Src: d.ID, Dst: l.owner,
 		Line: m.Line, Tag: l.ver, Requester: m.Src,
 	}, now)
@@ -379,7 +399,7 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 			}
 			l.sharers[req.Src] = true
 			l.ver++
-			d.net.SendAfter(&network.Message{
+			d.net.PostAfter(network.Message{
 				Type: MsgData, Src: d.ID, Dst: req.Src,
 				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver,
 			}, now, d.memLat)
@@ -387,7 +407,7 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 			l.state = dirExclusive
 			l.owner = req.Src
 			l.ver++
-			d.net.SendAfter(&network.Message{
+			d.net.PostAfter(network.Message{
 				Type: MsgDataEx, Src: d.ID, Dst: req.Src,
 				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
 			}, now, d.memLat)
@@ -396,6 +416,7 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 			l.owner = -1
 			d.finishUpdate(l, req, now)
 		}
+		d.net.Recycle(req) // retained since beginRecall; fully served now
 		l.busy = false
 		d.drainWaitQ(l, now)
 		return
@@ -413,7 +434,7 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 	} else {
 		d.Stats.Counter("stale_writebacks").Inc()
 	}
-	d.net.Send(&network.Message{
+	d.net.Post(network.Message{
 		Type: MsgWBAck, Src: d.ID, Dst: m.Src, Line: m.Line,
 	}, now)
 	if !l.busy {
@@ -422,14 +443,29 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 }
 
 // drainWaitQ serves queued requests until the line goes busy again or the
-// queue empties.
+// queue empties. Requests served to completion are released back to the
+// message pool; one that starts a recall stays held as pendingReq.
 func (d *Directory) drainWaitQ(l *dirLine, now uint64) {
 	for !l.busy && len(l.waitQ) > 0 {
 		m := l.waitQ[0]
 		copy(l.waitQ, l.waitQ[1:])
 		l.waitQ = l.waitQ[:len(l.waitQ)-1]
-		d.process(l, m, now)
+		if !d.process(l, m, now) {
+			d.net.Recycle(m)
+		}
 	}
+}
+
+// NextWake reports when the directory can next make progress without new
+// network input. The directory only self-schedules work when bounded
+// bandwidth left messages waiting in the ingress queue; busy lines and
+// waitQ entries advance solely on message arrival, which the simulator
+// accounts for via Network.NextDelivery.
+func (d *Directory) NextWake(now uint64) (uint64, bool) {
+	if len(d.ingress) > 0 {
+		return now, true
+	}
+	return 0, false
 }
 
 // Quiescent reports whether the directory has no busy lines, no queued

@@ -7,12 +7,16 @@ import (
 	"mcmsim/internal/network"
 )
 
-// stub records messages delivered to a cache-side node.
+// stub records messages delivered to a cache-side node. It retains each
+// message so the pool cannot reclaim it while assertions still inspect it.
 type stub struct {
 	got []*network.Message
 }
 
-func (s *stub) HandleMessage(m *network.Message, now uint64) { s.got = append(s.got, m) }
+func (s *stub) HandleMessage(m *network.Message, now uint64) {
+	m.Retain()
+	s.got = append(s.got, m)
+}
 
 func (s *stub) byType(t network.MsgType) []*network.Message {
 	var out []*network.Message

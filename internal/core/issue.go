@@ -196,46 +196,62 @@ func (u *LSU) swPrefetchTick(now uint64) bool {
 	return false
 }
 
-// nextLoadCandidate returns the load-queue head if it is allowed to issue.
+// nextLoadCandidate returns the load-queue head if it is allowed to issue,
+// dropping already-issued entries off the head as it goes.
 func (u *LSU) nextLoadCandidate() *Entry {
 	for len(u.loadQ) > 0 {
 		e := u.loadQ[0]
-		if e.Class == ClassRMW && e.issued {
-			// The atomic issued before its speculative read-exclusive part
-			// became useful; drop the speculative part.
+		if e.issued {
+			// Already issued: for an RMW the atomic issued before its
+			// speculative read-exclusive part became useful; either way the
+			// head is stale, drop it.
 			u.loadQ = u.loadQ[:copy(u.loadQ, u.loadQ[1:])]
 			continue
 		}
-		if e.Class != ClassRMW && e.issued {
-			u.loadQ = u.loadQ[:copy(u.loadQ, u.loadQ[1:])]
-			continue
-		}
-		// Conventional enforcement delays the load per the model's arcs;
-		// the speculative technique issues as soon as the address is known.
-		// Under NST, ordering is the memory module's job: the load needs
-		// only program order of issue, i.e. all older stores sent.
-		// Non-cached locations never speculate (Appendix A): they wait for
-		// everything older under every model.
-		if u.cfg.NST {
-			if !u.olderStoresIssued(e) {
-				return nil
-			}
-		} else if u.cfg.UncachedRMW[e.Addr] {
-			if !u.allOlderDone(e) {
-				return nil
-			}
-		} else if !u.cfg.Tech.SpecLoad && !u.predicateOK(e) {
-			return nil
-		}
-		fwd, stall := u.olderStoreConflict(e)
-		if stall || (fwd != nil && e.Class == ClassRMW) {
-			// The RMW's read-exclusive part must not bypass an older
-			// buffered store to the same address.
-			return nil
-		}
-		return e
+		return u.loadEligible(e)
 	}
 	return nil
+}
+
+// peekLoadCandidate is nextLoadCandidate without the stale-head cleanup:
+// the read-only variant NextWake uses so the quiescence probe cannot
+// perturb queue state.
+func (u *LSU) peekLoadCandidate() *Entry {
+	for _, e := range u.loadQ {
+		if e.issued {
+			continue
+		}
+		return u.loadEligible(e)
+	}
+	return nil
+}
+
+// loadEligible applies the issue rules to the first live load-queue entry.
+func (u *LSU) loadEligible(e *Entry) *Entry {
+	// Conventional enforcement delays the load per the model's arcs;
+	// the speculative technique issues as soon as the address is known.
+	// Under NST, ordering is the memory module's job: the load needs
+	// only program order of issue, i.e. all older stores sent.
+	// Non-cached locations never speculate (Appendix A): they wait for
+	// everything older under every model.
+	if u.cfg.NST {
+		if !u.olderStoresIssued(e) {
+			return nil
+		}
+	} else if u.cfg.UncachedRMW[e.Addr] {
+		if !u.allOlderDone(e) {
+			return nil
+		}
+	} else if !u.cfg.Tech.SpecLoad && !u.predicateOK(e) {
+		return nil
+	}
+	fwd, stall := u.olderStoreConflict(e)
+	if stall || (fwd != nil && e.Class == ClassRMW) {
+		// The RMW's read-exclusive part must not bypass an older
+		// buffered store to the same address.
+		return nil
+	}
+	return e
 }
 
 // nextStoreCandidate returns the first unissued store-buffer entry if it is
@@ -449,6 +465,29 @@ func (u *LSU) addSpecEntry(e *Entry, isRMW bool) {
 // accesses sitting in the load or store buffers that are delayed; they use
 // cache cycles that demand accesses are not using).
 func (u *LSU) prefetchTick(now uint64) {
+	e, kind := u.prefetchCandidate()
+	if e == nil {
+		return
+	}
+	res := u.cache.Access(cache.Request{Kind: kind, Addr: e.Addr}, now)
+	switch res {
+	case cache.Miss, cache.PrefetchDropped:
+		e.prefetched = true
+		if res == cache.Miss {
+			u.emit(ObsPrefetch, e, 0, now)
+		}
+		u.Stats.Counter("prefetch_attempts").Inc()
+		// Port consumed either way.
+	case cache.Blocked:
+		return
+	default:
+		panic("core: unexpected access result for prefetch")
+	}
+}
+
+// prefetchCandidate selects the entry prefetchTick would attempt (and the
+// request kind) without side effects, so NextWake can share the selection.
+func (u *LSU) prefetchCandidate() (*Entry, cache.ReqKind) {
 	for _, e := range u.entries {
 		if e.Done || e.issued || e.specIssued || e.prefetched || e.forwarded || !e.AddrReady {
 			continue
@@ -473,21 +512,9 @@ func (u *LSU) prefetchTick(now uint64) {
 			}
 			kind = cache.ReqPrefetchEx
 		}
-		res := u.cache.Access(cache.Request{Kind: kind, Addr: e.Addr}, now)
-		switch res {
-		case cache.Miss, cache.PrefetchDropped:
-			e.prefetched = true
-			if res == cache.Miss {
-				u.emit(ObsPrefetch, e, 0, now)
-			}
-			u.Stats.Counter("prefetch_attempts").Inc()
-			return // port consumed either way
-		case cache.Blocked:
-			return
-		default:
-			panic("core: unexpected access result for prefetch")
-		}
+		return e, kind
 	}
+	return nil, 0
 }
 
 // TickComplete processes store-buffer forwarding completions; call once per
@@ -497,7 +524,7 @@ func (u *LSU) TickComplete(now uint64) {
 		return
 	}
 	due := u.forwards[:0]
-	var fire []forwardCompletion
+	fire := u.fireScratch[:0]
 	for _, f := range u.forwards {
 		if f.at <= now {
 			fire = append(fire, f)
@@ -509,4 +536,5 @@ func (u *LSU) TickComplete(now uint64) {
 	for _, f := range fire {
 		u.AccessComplete(f.id, f.value, now)
 	}
+	u.fireScratch = fire[:0]
 }

@@ -169,12 +169,32 @@ type LSU struct {
 	nextID     uint64
 	revalBySeq map[uint64]*specEntry // pending revalidations by entry Seq
 
-	// forwards holds store-buffer-forwarded loads completing later.
-	forwards []forwardCompletion
+	// forwards holds store-buffer-forwarded loads completing later;
+	// fireScratch is TickComplete's reusable due-list.
+	forwards    []forwardCompletion
+	fireScratch []forwardCompletion
 
 	observe func(ObsEvent)
 
 	Stats *stats.Set
+	// latHist caches the per-class completion-latency histograms so the
+	// completion path does not rebuild "latency_<class>" keys per access.
+	latHist [numAccessClasses]*stats.Histogram
+}
+
+// numAccessClasses sizes per-class lookup arrays.
+const numAccessClasses = int(ClassPrefetchEx) + 1
+
+// latencyHist returns the completion-latency histogram for a class,
+// creating it on first use (so StatsReport still lists only classes that
+// actually completed).
+func (u *LSU) latencyHist(c AccessClass) *stats.Histogram {
+	h := u.latHist[c]
+	if h == nil {
+		h = u.Stats.Histogram("latency_" + c.String())
+		u.latHist[c] = h
+	}
+	return h
 }
 
 type forwardCompletion struct {
@@ -457,7 +477,7 @@ func (u *LSU) AccessComplete(id uint64, value int64, now uint64) {
 		u.emit(ObsLoadDone, e, value, now)
 	case roleDemand:
 		e.Done = true
-		u.Stats.Histogram("latency_" + e.Class.String()).Observe(int64(now - e.issuedAt))
+		u.latencyHist(e.Class).Observe(int64(now - e.issuedAt))
 		switch {
 		case e.Class == ClassRMW:
 			if e.specIssued {
@@ -652,16 +672,9 @@ func (u *LSU) PendingWork() bool {
 // prunable when it is done and no speculative-load-buffer entry references
 // it as a store tag.
 func (u *LSU) Prune() {
-	referenced := make(map[*Entry]bool, len(u.spec))
-	for _, s := range u.spec {
-		referenced[s.e] = true
-		if s.storeTag != nil {
-			referenced[s.storeTag] = true
-		}
-	}
 	n := 0
 	for _, e := range u.entries {
-		if !e.Done || !e.retired || referenced[e] {
+		if !e.Done || !e.retired || u.specReferenced(e) {
 			break
 		}
 		n++
@@ -677,4 +690,16 @@ func (u *LSU) Prune() {
 		}
 	}
 	u.storeBuf = sb
+}
+
+// specReferenced reports whether a speculative-load-buffer row still names
+// e (as its load or as its store tag). The direct scan replaces a per-cycle
+// map build: the buffer is small and Prune runs every cycle.
+func (u *LSU) specReferenced(e *Entry) bool {
+	for _, s := range u.spec {
+		if s.e == e || s.storeTag == e {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,94 @@
+package cpu
+
+import "mcmsim/internal/isa"
+
+// This file is the processor's quiescence interface for the simulator's
+// idle-cycle fast-forward scheduler (sim.System). NextWake must answer,
+// without mutating any pipeline state: would TickFrontend, TickExecute or
+// TickRetire change anything at cycle `now`, and if not, at which future
+// cycle could they? Every condition below mirrors the corresponding tick's
+// gate exactly; a verdict that is too optimistic would skip a cycle the
+// dense loop would have used and silently change cycle counts, so when in
+// doubt the answer is "busy now" (which merely costs a dense step).
+
+// NextWake reports the next cycle at which the processor can make progress
+// on its own (ok=false when it is fully event-driven or halted: it then
+// wakes only via LSU/cache callbacks, which the simulator accounts for
+// through the other components' wake times).
+func (p *Proc) NextWake(now uint64) (uint64, bool) {
+	if p.halted {
+		return 0, false
+	}
+	wake := uint64(0)
+	ok := false
+
+	// Frontend: decoding proceeds whenever there is ROB space and the fetch
+	// stage is not serving a redirect penalty.
+	if !p.haltFetched && len(p.rob) < p.cfg.ROBSize {
+		if now >= p.fetchResumeAt {
+			return now, true
+		}
+		wake, ok = p.fetchResumeAt, true
+	}
+
+	// Execute: an entry whose operands just became available makes progress
+	// this cycle (operand capture for memory ops, ALU/branch scheduling for
+	// the rest); an already-scheduled ALU/branch op wakes at its execAt.
+	for _, e := range p.rob {
+		if e.isMem {
+			if (!e.baseSent && p.operandReady(&e.src)) ||
+				(!e.dataSent && p.operandReady(&e.src2)) {
+				return now, true
+			}
+			continue
+		}
+		if e.executed {
+			continue
+		}
+		if !p.operandReady(&e.src) || !p.operandReady(&e.src2) {
+			continue
+		}
+		if !e.execSet || e.execAt <= now {
+			return now, true
+		}
+		if !ok || e.execAt < wake {
+			wake, ok = e.execAt, true
+		}
+	}
+
+	// Retire: the head makes progress if it still has to signal the store
+	// buffer or if it can retire. A halt retires only once it is alone in
+	// the buffer and the LSU drained (TickRetire's extra gate).
+	if len(p.rob) > 0 {
+		e := p.rob[0]
+		in := e.instr
+		if in.Op == isa.OpHalt {
+			if len(p.rob) == 1 && p.lsu.Drained() {
+				return now, true
+			}
+		} else {
+			if e.isMem && (in.IsStore() || in.Op == isa.OpRMW) && !e.storeSignaled {
+				return now, true
+			}
+			if p.canRetire(e) {
+				return now, true
+			}
+		}
+	}
+	return wake, ok
+}
+
+// operandReady reports whether resolve would succeed for o, without the
+// mutation (NextWake must leave operand state untouched so the dense and
+// fast-forward schedules stay identical).
+func (p *Proc) operandReady(o *operand) bool {
+	if o.ready {
+		return true
+	}
+	e := p.byID[o.producer]
+	if e == nil {
+		return true // producer retired; register file holds the value
+	}
+	_, ready := producerValue(e)
+	return ready
+}

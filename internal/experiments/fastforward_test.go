@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"mcmsim/internal/runner"
+	"mcmsim/internal/sim"
+)
+
+// renderSuite runs every sweep in the registry on one worker pool and
+// renders the full report in the given format — exactly what
+// `sweep -exp all -format F` produces.
+func renderSuite(t *testing.T, format string) []byte {
+	t.Helper()
+	p := DefaultParams()
+	var tables []runner.Table
+	for _, s := range Suite() {
+		rows, err := runner.Execute(s.Jobs(p), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		tables = append(tables, runner.Table{Name: s.Name, Rows: rows})
+	}
+	var buf bytes.Buffer
+	if err := runner.WriteReport(&buf, format, tables); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFastForwardSuiteByteIdentical is the end-to-end differential gate
+// for the idle-cycle fast-forward scheduler: the complete experiment suite
+// (every E-series sweep, i.e. `sweep -exp all`) must render byte-identical
+// reports in every output format whether cycles are stepped densely or
+// fast-forwarded. This test deliberately goes through the same
+// enumeration, execution and rendering layers as cmd/sweep, so a
+// divergence anywhere — a skipped stall that a counter should have seen,
+// a histogram observed at a shifted cycle — fails loudly with a report
+// diff.
+//
+// Not t.Parallel: it toggles the package-wide sim.ForceDense knob, which
+// must not race with other tests' simulations. (Parallel subtests of
+// earlier top-level tests have fully completed before this runs.)
+func TestFastForwardSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential run; skipped in -short mode")
+	}
+	prev := sim.ForceDense
+	defer func() { sim.ForceDense = prev }()
+
+	for _, format := range []string{runner.FormatTable, runner.FormatJSON, runner.FormatCSV} {
+		sim.ForceDense = true
+		dense := renderSuite(t, format)
+		sim.ForceDense = false
+		fast := renderSuite(t, format)
+		if !bytes.Equal(dense, fast) {
+			t.Errorf("%s reports differ:\n--- dense ---\n%s--- fast-forward ---\n%s", format, dense, fast)
+		}
+	}
+}
+
+// TestFastForwardFigure5TraceIdentical pins the finest-grained observable:
+// the §4.3 cycle-by-cycle execution trace. Fast-forward may skip only
+// cycles in which nothing happens, so the traced walkthrough — every
+// event annotated with its cycle number — must come out identical.
+func TestFastForwardFigure5TraceIdentical(t *testing.T) {
+	prev := sim.ForceDense
+	defer func() { sim.ForceDense = prev }()
+
+	sim.ForceDense = true
+	denseRes, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.ForceDense = false
+	fastRes, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denseRes.Cycles != fastRes.Cycles {
+		t.Errorf("halt cycle: dense=%d fast-forward=%d", denseRes.Cycles, fastRes.Cycles)
+	}
+	if d, f := denseRes.Trace.String(), fastRes.Trace.String(); d != f {
+		t.Errorf("traces differ:\n--- dense ---\n%s--- fast-forward ---\n%s", d, f)
+	}
+}

@@ -9,7 +9,10 @@
 // source/destination pair since every message experiences the same latency.
 package network
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // NodeID identifies an endpoint attached to the network: processor caches
 // occupy IDs 0..P-1 and directory/memory modules occupy subsequent IDs by
@@ -51,9 +54,13 @@ const (
 	MsgMemWrite  // processor -> memory module: sequenced write
 	MsgMemRdResp // memory module -> processor: read data
 	MsgMemWrAck  // memory module -> processor: write performed
+
+	numMsgTypes // sentinel: sizes the per-type arrays below
 )
 
-var msgTypeNames = map[MsgType]string{
+// msgTypeNames is indexed by MsgType; per-message String/stat paths must
+// not hash a map.
+var msgTypeNames = [numMsgTypes]string{
 	MsgGetS: "GetS", MsgGetX: "GetX",
 	MsgWriteBack: "WriteBack", MsgReplaceHint: "ReplaceHint",
 	MsgData: "Data", MsgDataEx: "DataEx",
@@ -67,10 +74,10 @@ var msgTypeNames = map[MsgType]string{
 }
 
 func (t MsgType) String() string {
-	if s, ok := msgTypeNames[t]; ok {
-		return s
+	if t < numMsgTypes && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
 	}
-	return "Msg(?)"
+	return fmt.Sprintf("Msg(%d)", uint8(t))
 }
 
 // Message is one packet in flight. Fields beyond Type/Src/Dst are used as
@@ -93,7 +100,15 @@ type Message struct {
 	deliver  uint64 // delivery cycle
 	heapIdx  int
 	enqueued bool
+	pooled   bool // drawn from the network free list (sent via Post*)
+	retained bool // handler kept the message past HandleMessage
 }
+
+// Retain marks a delivered pool message as kept by its handler beyond the
+// HandleMessage call. The network then skips the automatic reclaim; the
+// handler releases the message later with Network.Recycle. Messages sent
+// with Send/SendAt (caller-owned allocations) ignore retention entirely.
+func (m *Message) Retain() { m.retained = true }
 
 // Handler receives delivered messages. Endpoints (caches, directories,
 // memory modules) implement Handler and register with Attach.
@@ -110,18 +125,22 @@ type Network struct {
 	q         msgHeap
 	nextSeq   uint64
 
+	// free is the message free list: pool messages (sent via Post*) are
+	// reclaimed after delivery and reused, so steady-state coherence
+	// traffic allocates nothing.
+	free []*Message
+
 	// MessagesSent counts every Send for statistics.
 	MessagesSent uint64
-	// HopsByType counts sends per message type.
-	HopsByType map[MsgType]uint64
+	// HopsByType counts sends per message type, indexed by MsgType.
+	HopsByType [numMsgTypes]uint64
 }
 
 // New creates a network with the given one-way latency in cycles.
 func New(latency uint64) *Network {
 	return &Network{
-		latency:    latency,
-		endpoints:  make(map[NodeID]Handler),
-		HopsByType: make(map[MsgType]uint64),
+		latency:   latency,
+		endpoints: make(map[NodeID]Handler),
 	}
 }
 
@@ -142,6 +161,51 @@ func (n *Network) Send(m *Message, now uint64) {
 // access) without a separate event queue.
 func (n *Network) SendAfter(m *Message, now, extra uint64) {
 	n.SendAt(m, now+n.latency+extra)
+}
+
+// Post sends a copy of proto drawn from the message free list for delivery
+// at now + latency. Pool messages are reclaimed automatically after their
+// destination handler returns, unless the handler called Retain — so a
+// handler that keeps the pointer past HandleMessage must Retain it and
+// Recycle it when done; handlers that copy what they need (the common case)
+// need do nothing.
+func (n *Network) Post(proto Message, now uint64) {
+	n.PostAt(proto, now+n.latency)
+}
+
+// PostAfter is SendAfter for pool messages: delivery at now+latency+extra.
+func (n *Network) PostAfter(proto Message, now, extra uint64) {
+	n.PostAt(proto, now+n.latency+extra)
+}
+
+// PostAt enqueues a pooled copy of proto for delivery at the absolute cycle
+// deliver.
+func (n *Network) PostAt(proto Message, deliver uint64) {
+	m := n.acquire()
+	*m = proto
+	m.pooled = true
+	n.SendAt(m, deliver)
+}
+
+func (n *Network) acquire() *Message {
+	if k := len(n.free); k > 0 {
+		m := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return m
+	}
+	return &Message{}
+}
+
+// Recycle returns a retained pool message to the free list. Calling it on a
+// caller-owned (non-pool) or still-enqueued message is a no-op, so handlers
+// may recycle unconditionally.
+func (n *Network) Recycle(m *Message) {
+	if !m.pooled || m.enqueued {
+		return
+	}
+	*m = Message{}
+	n.free = append(n.free, m)
 }
 
 // SendAt enqueues a message for delivery at the absolute cycle deliver.
@@ -170,6 +234,13 @@ func (n *Network) Deliver(now uint64) {
 			panic("network: message to unattached node")
 		}
 		h.HandleMessage(m, now)
+		if m.pooled {
+			if m.retained {
+				m.retained = false
+			} else {
+				n.Recycle(m)
+			}
+		}
 	}
 }
 

@@ -181,3 +181,107 @@ func TestDeliveryOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMsgTypeStringUnknown: String() on an out-of-range or unnamed type
+// must degrade to a numeric form, not panic or index past the name table.
+func TestMsgTypeStringUnknown(t *testing.T) {
+	for _, typ := range []MsgType{numMsgTypes, MsgType(200), MsgType(255)} {
+		got := typ.String()
+		if got != "Msg("+itoa(uint8(typ))+")" {
+			t.Errorf("MsgType(%d).String() = %q, want Msg(%d)", uint8(typ), got, uint8(typ))
+		}
+	}
+}
+
+func itoa(v uint8) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [3]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = '0' + v%10
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// capture is a handler that copies delivered messages by value, so the
+// assertions survive the pool reclaiming the delivered pointer.
+type capture struct{ got []Message }
+
+func (c *capture) HandleMessage(m *Message, now uint64) { c.got = append(c.got, *m) }
+
+// TestMessagePoolRoundTrip: a Post-sent message is recycled after delivery
+// and the same backing object is reused by the next Post, while Send-sent
+// messages (caller-owned) are never pooled.
+func TestMessagePoolRoundTrip(t *testing.T) {
+	n := New(3)
+	dst := &capture{}
+	n.Attach(1, dst)
+
+	n.Post(Message{Type: MsgGetS, Dst: 1, Word: 0x40}, 0)
+	n.Deliver(n.Latency() + 1)
+	if len(dst.got) != 1 || dst.got[0].Word != 0x40 {
+		t.Fatalf("first delivery wrong: %+v", dst.got)
+	}
+	if len(n.free) != 1 {
+		t.Fatalf("free list has %d entries after delivery, want 1", len(n.free))
+	}
+	reused := n.free[0]
+
+	n.Post(Message{Type: MsgInv, Dst: 1, Word: 0x80}, 100)
+	if len(n.free) != 0 {
+		t.Fatal("Post did not take the pooled message")
+	}
+	n.Deliver(100 + n.Latency() + 1)
+	if len(dst.got) != 2 || dst.got[1].Type != MsgInv || dst.got[1].Word != 0x80 {
+		t.Fatalf("second delivery wrong: %+v", dst.got)
+	}
+	if len(n.free) != 1 || n.free[0] != reused {
+		t.Error("recycled message was not reused by the next Post")
+	}
+
+	// Send-sent messages are caller-owned: never recycled into the pool.
+	own := &Message{Type: MsgData, Dst: 1}
+	n.Send(own, 200)
+	n.Deliver(200 + n.Latency() + 1)
+	if own.Type != MsgData {
+		t.Error("Send-sent message was wiped by the pool")
+	}
+	if len(n.free) != 1 {
+		t.Errorf("free list grew to %d from a Send-sent message", len(n.free))
+	}
+}
+
+// TestRetainDefersRecycle: a handler that retains a pooled message keeps
+// ownership; the network must not reclaim it at delivery. Recycling it
+// later returns it to the pool exactly once.
+func TestRetainDefersRecycle(t *testing.T) {
+	n := New(3)
+	var held *Message
+	n.Attach(1, handlerFunc(func(m *Message, now uint64) {
+		m.Retain()
+		held = m
+	}))
+	n.Post(Message{Type: MsgGetX, Dst: 1, Word: 0x40}, 0)
+	n.Deliver(n.Latency() + 1)
+	if held == nil || held.Word != 0x40 {
+		t.Fatalf("retained message lost: %+v", held)
+	}
+	if len(n.free) != 0 {
+		t.Fatal("retained message was recycled at delivery")
+	}
+	n.Recycle(held)
+	if len(n.free) != 1 {
+		t.Fatal("explicit Recycle of a retained message did not pool it")
+	}
+	if held.Word != 0 || held.Type != 0 {
+		t.Error("Recycle did not wipe the message")
+	}
+}
+
+type handlerFunc func(*Message, uint64)
+
+func (f handlerFunc) HandleMessage(m *Message, now uint64) { f(m, now) }

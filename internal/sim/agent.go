@@ -31,7 +31,7 @@ func (a *agent) write(w ScheduledWrite, now uint64) {
 	a.outstanding++
 	line := a.geom.LineOf(w.Addr)
 	home := a.homes[(line/a.geom.LineWords)%uint64(len(a.homes))]
-	a.net.Send(&network.Message{
+	a.net.Post(network.Message{
 		Type: network.MsgUpdateReq, Src: a.id, Dst: home,
 		Line: line, Word: w.Addr, Value: w.Value,
 	}, now)

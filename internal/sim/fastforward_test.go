@@ -1,0 +1,168 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+// The technique grid used by the paper's experiments (mirrors
+// experiments.TechConv etc.; duplicated so the sim tests stay free of the
+// experiments package).
+var ffTechniques = []struct {
+	name string
+	tech core.Technique
+}{
+	{"conv", core.Technique{}},
+	{"pf", core.Technique{Prefetch: true}},
+	{"spec", core.Technique{SpecLoad: true, ReissueOpt: true}},
+	{"pf+spec", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+}
+
+func mixProgs(nprocs int, seed int64) []*isa.Program {
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		progs[p] = workload.RandomSharing(p, nprocs, workload.EqualizationMix(seed))
+	}
+	return progs
+}
+
+// TestFastForwardMatchesDense is the differential gate for the idle-cycle
+// fast-forward scheduler: for every consistency model under every
+// technique, running the mixed workload with fast-forward enabled must
+// produce exactly the same halt cycle, statistics report and coherent
+// memory image as stepping every cycle (Config.DenseLoop). Fast-forward
+// may only skip cycles in which a dense Step would change no state at all
+// — including statistics counters — so any divergence here means a
+// component's NextWake underestimated its own activity.
+func TestFastForwardMatchesDense(t *testing.T) {
+	var skippedTotal uint64
+	for _, m := range core.AllModels {
+		for _, tc := range ffTechniques {
+			t.Run(fmt.Sprintf("%v/%s", m, tc.name), func(t *testing.T) {
+				run := func(dense bool) (uint64, string, map[uint64]int64, uint64) {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = 3
+					cfg.Model = m
+					cfg.Tech = tc.tech
+					cfg.DenseLoop = dense
+					s := sim.New(cfg, mixProgs(3, 7))
+					cycles, err := s.Run()
+					if err != nil {
+						t.Fatalf("dense=%v: %v", dense, err)
+					}
+					return cycles, s.StatsReport(), s.CoherentSnapshot(), s.FastForwarded
+				}
+				dCycles, dStats, dMem, dSkipped := run(true)
+				fCycles, fStats, fMem, fSkipped := run(false)
+				if dSkipped != 0 {
+					t.Errorf("dense run fast-forwarded %d cycles, want 0", dSkipped)
+				}
+				if dCycles != fCycles {
+					t.Errorf("halt cycle: dense=%d fast-forward=%d", dCycles, fCycles)
+				}
+				if dStats != fStats {
+					t.Errorf("stats reports differ:\n--- dense ---\n%s--- fast-forward ---\n%s", dStats, fStats)
+				}
+				if !reflect.DeepEqual(dMem, fMem) {
+					t.Errorf("coherent memory images differ: dense=%v fast-forward=%v", dMem, fMem)
+				}
+				skippedTotal += fSkipped
+			})
+		}
+	}
+	// The grid includes long-latency misses under the conventional
+	// technique, where nearly every cycle is an idle wait; if nothing was
+	// ever skipped the scheduler is not actually engaging.
+	if skippedTotal == 0 {
+		t.Error("fast-forward skipped 0 cycles across the whole model x technique grid")
+	}
+}
+
+// TestFastForwardSkipsStallCycles pins that the scheduler actually jumps
+// on the configuration it was built for: conventional SC waiting out a
+// long miss, where the machine is provably inert for hundreds of cycles.
+func TestFastForwardSkipsStallCycles(t *testing.T) {
+	cfg := sim.RealisticConfig().WithMissLatency(400)
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	s := sim.New(cfg, mixProgs(3, 7))
+	cycles, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FastForwarded == 0 {
+		t.Fatal("conventional SC at miss=400 fast-forwarded 0 cycles")
+	}
+	// Most of the run is miss stall; the scheduler should reclaim the bulk
+	// of it (conservatively: over half of all simulated cycles).
+	if 2*s.FastForwarded < cycles {
+		t.Errorf("fast-forwarded only %d of %d cycles; expected the majority", s.FastForwarded, cycles)
+	}
+}
+
+// TestStepZeroAllocSteadyState asserts the zero-allocation hot path: once
+// a simulation reaches steady state (here: deep inside a 400-cycle miss
+// window, after fetch and issue have settled), a dense Step() must not
+// touch the heap at all. Any regression — a per-cycle map, a re-grown
+// scratch slice, a message allocated instead of pooled — shows up as a
+// nonzero allocation count.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	cfg := sim.PaperConfig().WithMissLatency(400)
+	cfg.DenseLoop = true
+	s := sim.New(cfg, []*isa.Program{workload.Example1()})
+	// Step past fetch/decode and the first access issue so every
+	// lazily-grown structure (ROB, scratch slices, message pool) is warm.
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	if s.Done() {
+		t.Fatal("workload finished before steady state; miss latency not in effect?")
+	}
+	if allocs := testing.AllocsPerRun(100, s.Step); allocs != 0 {
+		t.Errorf("steady-state Step() allocates %.1f objects/cycle, want 0", allocs)
+	}
+}
+
+// benchmarkE2Row runs the E2 latency-sweep row at its most expensive point
+// (miss=400): both models of interest under conventional and combined
+// techniques, exactly as `sweep -exp latency` enumerates them. ns/op is
+// the wall time of the whole row; "simcycles/s" is aggregate simulated
+// throughput. Comparing the Dense and FastForward variants measures what
+// the idle-cycle scheduler reclaims.
+func benchmarkE2Row(b *testing.B, dense bool) {
+	progs := mixProgs(3, 7)
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, m := range []core.Model{core.SC, core.RC} {
+			for _, tc := range []core.Technique{
+				{},
+				{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+			} {
+				cfg := sim.RealisticConfig().WithMissLatency(400)
+				cfg.Procs = 3
+				cfg.Model = m
+				cfg.Tech = tc
+				cfg.DenseLoop = dense
+				s := sim.New(cfg, progs)
+				cycles, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += cycles
+			}
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+func BenchmarkStepDense(b *testing.B)       { benchmarkE2Row(b, true) }
+func BenchmarkStepFastForward(b *testing.B) { benchmarkE2Row(b, false) }

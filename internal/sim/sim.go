@@ -57,7 +57,18 @@ type Config struct {
 
 	// MaxCycles aborts a run that fails to converge (deadlock guard).
 	MaxCycles uint64
+
+	// DenseLoop disables the idle-cycle fast-forward scheduler: Run steps
+	// every cycle even when all components are provably inert. The
+	// escape hatch for debugging and for the differential tests that prove
+	// fast-forward changes nothing.
+	DenseLoop bool
 }
+
+// ForceDense disables fast-forward for every Run in the process, regardless
+// of per-config DenseLoop — the CLI (-dense) and differential-test knob. It
+// must only be toggled while no simulations are running.
+var ForceDense bool
 
 // PaperConfig reproduces the abstract machine of the paper's examples:
 // 1-cycle cache hits, 100-cycle misses (45+10+45), one access accepted per
@@ -134,6 +145,11 @@ type System struct {
 	Cycle      uint64
 	baseCycle  uint64 // cycle at which the current programs were loaded
 	TraceHooks []TraceHook
+
+	// FastForwarded counts the cycles Run skipped via the event-horizon
+	// scheduler (diagnostics only; deliberately absent from StatsReport so
+	// dense and fast-forward reports stay byte-identical).
+	FastForwarded uint64
 }
 
 // TraceHook observes every cycle after all phases ran; used by the
@@ -334,10 +350,22 @@ func (s *System) Done() bool {
 // Run steps the machine until Done or the cycle budget is exhausted; it
 // returns the cycle at which the last processor halted, relative to the
 // most recent program load.
+//
+// Unless Config.DenseLoop or ForceDense is set, Run fast-forwards over
+// provably idle stretches: when no component can change state at the
+// current cycle, the clock jumps straight to the event horizon — the
+// earliest cycle at which anything (a network delivery, a scheduled write,
+// a component's own timer) can happen. Because skipIdleCycles only skips
+// cycles where Step would have been a pure no-op, halt cycles, statistics,
+// memory images and traces are identical to the dense loop's.
 func (s *System) Run() (uint64, error) {
+	dense := s.Cfg.DenseLoop || ForceDense
 	for !s.Done() {
 		if s.Cycle-s.baseCycle > s.Cfg.MaxCycles {
 			return 0, fmt.Errorf("sim: no convergence after %d cycles\n%s", s.Cfg.MaxCycles, s.Dump())
+		}
+		if !dense && s.skipIdleCycles() {
+			continue
 		}
 		s.Step()
 	}
@@ -348,6 +376,68 @@ func (s *System) Run() (uint64, error) {
 		}
 	}
 	return last - s.baseCycle, nil
+}
+
+// skipIdleCycles advances the clock past cycles in which no component can
+// make progress, reporting whether it moved. The horizon is the earliest of
+// every self-scheduled event in the machine: the next scheduled external
+// write, the next network delivery, and each component's NextWake. A
+// component that can act at the current cycle vetoes the skip entirely. No
+// component may ever schedule work earlier than its reported wake, so every
+// skipped cycle is one the dense loop would have stepped through without
+// any state change — including statistics.
+func (s *System) skipIdleCycles() bool {
+	now := s.Cycle
+	// A machine with no wake candidates at all (yet not Done) is
+	// deadlocked: jump straight past the cycle budget so Run reports the
+	// same no-convergence error, at the same cycle, that dense would.
+	horizon := s.baseCycle + s.Cfg.MaxCycles + 1
+	// earlier folds one wake candidate into the horizon; a candidate at or
+	// before now means the machine is busy and nothing can be skipped.
+	earlier := func(c uint64, ok bool) (busy bool) {
+		if !ok {
+			return false
+		}
+		if c <= now {
+			return true
+		}
+		if c < horizon {
+			horizon = c
+		}
+		return false
+	}
+	if s.nextWrite < len(s.writes) && earlier(s.writes[s.nextWrite].Cycle, true) {
+		return false
+	}
+	if earlier(s.Net.NextDelivery()) {
+		return false
+	}
+	for _, d := range s.Dirs {
+		if earlier(d.NextWake(now)) {
+			return false
+		}
+	}
+	for _, c := range s.Caches {
+		if earlier(c.NextWake(now)) {
+			return false
+		}
+	}
+	for _, u := range s.LSUs {
+		if earlier(u.NextWake(now)) {
+			return false
+		}
+	}
+	for _, p := range s.Procs {
+		if earlier(p.NextWake(now)) {
+			return false
+		}
+	}
+	if horizon <= now {
+		return false
+	}
+	s.FastForwarded += horizon - now
+	s.Cycle = horizon
+	return true
 }
 
 // RunProgram is the one-shot convenience: build, run, return the halt cycle.
