@@ -1,14 +1,14 @@
 # Pre-PR gate and convenience targets. `make check` is what every change
 # must pass before review (documented in README.md): vet, formatting,
-# build, the full test suite, and the race-detector tier over the packages
-# that exercise goroutine concurrency (the parallel runner and the
-# simulator integration tests it drives).
+# build, the full test suite, the race-detector tier over every package,
+# the fast-forward differential tier, and a conformance smoke batch
+# against the SC oracle (internal/conformance).
 
 GO ?= go
 
-.PHONY: check vet fmtcheck build test race differential bench sweep fmt
+.PHONY: check vet fmtcheck build test race differential conform cover fuzz bench sweep fmt
 
-check: vet fmtcheck build test race differential
+check: vet fmtcheck build test race differential conform
 	@echo "check: OK"
 
 vet:
@@ -26,10 +26,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency tier: the worker pool and the simulations it fans out
-# must be race-clean at every worker count.
+# The concurrency tier: every package must be race-clean — the worker
+# pool fans simulations out across goroutines, so any shared state in the
+# simulator shows up here.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim
+	$(GO) test -race ./...
 
 # The fast-forward differential tier: the idle-cycle scheduler must be
 # observationally identical to stepping every cycle — across the model x
@@ -37,6 +38,22 @@ race:
 # the Figure 5 cycle-level trace.
 differential:
 	$(GO) test -run 'TestFastForward' ./internal/sim ./internal/experiments
+
+# The conformance tier: a smoke batch of generated litmus programs checked
+# against the exhaustive SC oracle across the model x technique x timing
+# grid (cmd/conform runs larger batches; any failure prints a minimized
+# reproducer).
+conform:
+	$(GO) run ./cmd/conform -seed 1 -n 64 -quiet
+
+# Per-package statement coverage for the simulator core.
+cover:
+	$(GO) test -cover ./internal/...
+
+# The native fuzz target: arbitrary byte strings decode to litmus programs
+# that are checked against the oracle on the reduced (paper-timing) grid.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzConformance -fuzztime 30s ./internal/conformance
 
 # Regenerate every figure/experiment headline via the benchmark harness,
 # archiving the results (ns/op, allocs/op, simulated cycles/sec) as

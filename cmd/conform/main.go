@@ -1,0 +1,93 @@
+// Command conform is the model-conformance fuzzing driver: it generates
+// seeded random litmus programs, computes each program's exhaustive
+// allowed-outcome set per consistency model with the reference oracle,
+// runs the program through the simulator across the full model x
+// technique x timing grid, and checks the paper's invariants — outcome
+// containment per model, the §6 detector's zero-detections-implies-SC
+// certificate, and fast-forward/dense equivalence (see
+// internal/conformance).
+//
+//	conform -seed 1 -n 256        check 256 programs from seed 1
+//	conform -procs 3 -ops 4       force 3 processors, up to 4 ops each
+//
+// Flags:
+//
+//	-seed N   first generator seed (programs use seed..seed+n-1)
+//	-n N      number of programs
+//	-procs N  processors per program (0 = random 2-3)
+//	-ops N    max ops per processor (0 = default 5)
+//	-j N      worker-pool size (<=0 means all CPUs)
+//	-quick    paper timing only (the fuzz target's reduced grid)
+//	-quiet    suppress the progress line on stderr
+//
+// Any violation is minimized to a 1-minimal reproducer and printed with
+// the failing cell, the observed outcome, and the oracle's allowed set;
+// the exit status is 1. Output is deterministic for every -j value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mcmsim/internal/conformance"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "first generator seed")
+		n     = flag.Int("n", 64, "number of programs to check")
+		procs = flag.Int("procs", 0, "processors per program (0 = random 2-3)")
+		ops   = flag.Int("ops", 0, "max operations per processor (0 = default)")
+		jobs  = flag.Int("j", runtime.NumCPU(), "worker-pool size (<=0 means all CPUs)")
+		quick = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
+		quiet = flag.Bool("quiet", false, "suppress progress on stderr")
+	)
+	flag.Parse()
+
+	params := conformance.Params{Procs: *procs, ProcOps: *ops}
+	opts := conformance.CheckOptions{Quick: *quick}
+
+	progress := func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rconform: %d/%d programs", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if *quiet {
+		progress = nil
+	}
+
+	start := time.Now()
+	rep := conformance.CheckBatch(*seed, *n, params, *jobs, opts, progress)
+	elapsed := time.Since(start)
+
+	if len(rep.Violations) == 0 {
+		fmt.Printf("conform: OK — %d programs, %d grid cells (%d relaxed outcomes, %d detector hits), seeds %d..%d, %.1fs\n",
+			rep.Programs, rep.Stats.Cells, rep.Stats.Relaxed, rep.Stats.Detections,
+			*seed, *seed+int64(*n)-1, elapsed.Seconds())
+		return
+	}
+
+	fmt.Printf("conform: %d violation(s) across %d programs\n\n", len(rep.Violations), rep.Programs)
+	// Group violations by program (seed) and minimize each failing program
+	// once; the grid is deterministic, so the reproducer is exact.
+	minimized := make(map[int64]bool)
+	for _, v := range rep.Violations {
+		fmt.Printf("%v\n", v)
+		if minimized[v.Program.Seed] {
+			continue
+		}
+		minimized[v.Program.Seed] = true
+		min := conformance.MinimizeViolation(v.Program, opts)
+		fmt.Printf("minimized reproducer:\n%v", min)
+		_, mviols := conformance.CheckProgram(min, opts)
+		for _, mv := range mviols {
+			fmt.Printf("  still fails: %v\n", mv)
+		}
+		fmt.Println()
+	}
+	os.Exit(1)
+}

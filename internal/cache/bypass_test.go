@@ -1,0 +1,77 @@
+package cache_test
+
+import (
+	"testing"
+
+	"mcmsim/internal/cache"
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/isa"
+)
+
+func TestBypassRMWReturnsOldValue(t *testing.T) {
+	h := newHarness(t, 2, smallConfig(), 1, coherence.ProtoInvalidate)
+	for _, c := range h.caches {
+		c.EnableBypass()
+	}
+	h.mem.WriteWord(0x40, 10)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRMW, ID: 1, Addr: 0x40, Data: 5, RMW: isa.RMWFetchAdd}, h.cycle)
+	h.settle(t)
+	if v, ok := h.clients[0].done(1); !ok || v != 10 {
+		t.Fatalf("bypass RMW old value = %d,%v, want 10", v, ok)
+	}
+	if got := h.mem.ReadWord(0x40); got != 15 {
+		t.Fatalf("memory after fetch-add = %d, want 15", got)
+	}
+	// The atomicity point is the memory module: a second RMW from another
+	// processor sees the first one's result.
+	h.caches[1].Access(cache.Request{Kind: cache.ReqRMW, ID: 2, Addr: 0x40, Data: 1, RMW: isa.RMWFetchAdd}, h.cycle)
+	h.settle(t)
+	if v, ok := h.clients[1].done(2); !ok || v != 15 {
+		t.Fatalf("second RMW old value = %d,%v, want 15", v, ok)
+	}
+	if got := h.mem.ReadWord(0x40); got != 16 {
+		t.Fatalf("memory after both = %d, want 16", got)
+	}
+}
+
+func TestBypassProgramOrderPreserved(t *testing.T) {
+	// Stenström's scheme relies on the memory module seeing one processor's
+	// requests in issue order (the next-sequence-number table; here the FIFO
+	// network). A write followed by a read of the same word from the same
+	// processor must read the written value.
+	h := newHarness(t, 1, smallConfig(), 1, coherence.ProtoInvalidate)
+	h.caches[0].EnableBypass()
+	h.caches[0].Access(cache.Request{Kind: cache.ReqWrite, ID: 1, Addr: 0x40, Data: 4}, h.cycle)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x40}, h.cycle)
+	if h.caches[0].PendingWork() == false {
+		t.Fatal("bypass accesses should be outstanding")
+	}
+	h.settle(t)
+	if v, ok := h.clients[0].done(2); !ok || v != 4 {
+		t.Fatalf("read after write = %d,%v, want 4", v, ok)
+	}
+}
+
+func TestUncachedAccessLeavesCacheCold(t *testing.T) {
+	// Appendix A: RMWs to non-cached synchronization locations go straight
+	// to memory even on a machine that otherwise caches everything.
+	h := newHarness(t, 1, smallConfig(), 1, coherence.ProtoInvalidate)
+	h.mem.WriteWord(0x40, 1)
+	if h.caches[0].BypassEnabled() {
+		t.Fatal("cache unexpectedly in NST mode")
+	}
+	h.caches[0].UncachedAccess(cache.Request{Kind: cache.ReqRMW, ID: 1, Addr: 0x40, Data: 1, RMW: isa.RMWTestAndSet}, h.cycle)
+	h.settle(t)
+	if v, ok := h.clients[0].done(1); !ok || v != 1 {
+		t.Fatalf("uncached TAS old value = %d,%v, want 1", v, ok)
+	}
+	if st := h.caches[0].StateOf(0x40); st != cache.Invalid {
+		t.Fatalf("uncached access installed a line: %v", st)
+	}
+	// The same cache can still use normal cached accesses afterwards.
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x40}, h.cycle)
+	h.settle(t)
+	if v, ok := h.clients[0].done(2); !ok || v != 1 {
+		t.Fatalf("cached read after uncached RMW = %d,%v, want 1", v, ok)
+	}
+}

@@ -156,6 +156,14 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 		DebugCacheTrace(fmt.Sprintf("cache%d@%d: installFill ex=%v ver=%d data=%v waiters=%d deferred=%d", c.ID, now, ms.exclusive, ms.grantVer, ms.data, len(ms.waiters), len(ms.deferred)))
 	}
 
+	// Deferred events serialized before our grant are superseded for the
+	// line state (the fill data already reflects them) but must still reach
+	// the client before any waiter completes: the speculative-load buffer
+	// matches by address, and a value speculated from the line's previous
+	// incarnation is exactly what such an event invalidates. Dropping the
+	// notification would let a stale speculation commit undetected.
+	c.notifySupersededDeferred(ms, now)
+
 	// For a shared fill, coherence events that arrived during the fill are
 	// ordered before the waiting loads bind: applying them first lets the
 	// speculative-load buffer catch the match while the load is still
@@ -235,18 +243,37 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 	}
 }
 
+// notifySupersededDeferred filters out deferred events whose directory
+// version precedes the grant — the fill data already reflects them, so they
+// must not be applied to the line — while still reporting each one to the
+// client as a pure notification. A recall can never be superseded: the
+// directory does not grant past an unanswered recall.
+func (c *Cache) notifySupersededDeferred(ms *mshr, now uint64) {
+	keep := ms.deferred[:0]
+	for _, ev := range ms.deferred {
+		if ev.tag > ms.grantVer {
+			keep = append(keep, ev)
+			continue
+		}
+		switch ev.typ {
+		case network.MsgInv:
+			c.client.CoherenceEvent(ms.lineAddr, EvInvalidate, now)
+		case network.MsgUpdate:
+			c.client.CoherenceEvent(ms.lineAddr, EvUpdate, now)
+		default:
+			panic(fmt.Sprintf("cache %d: dropping deferred recall tag=%d grant=%d line=%#x", c.ID, ev.tag, ms.grantVer, ms.lineAddr))
+		}
+	}
+	ms.deferred = keep
+}
+
 // applyDeferred processes the coherence events that arrived while the fill
-// was pending, in directory order (version-checked).
+// was pending, in directory order. Superseded events were already filtered
+// (and notified) by notifySupersededDeferred.
 func (c *Cache) applyDeferred(ms *mshr, now uint64) {
 	deferred := ms.deferred
 	ms.deferred = nil
 	for _, ev := range deferred {
-		if ev.tag <= ms.grantVer {
-			if ev.typ == network.MsgRecallShare || ev.typ == network.MsgRecallInv {
-				panic(fmt.Sprintf("cache %d: dropping deferred recall tag=%d grant=%d line=%#x", c.ID, ev.tag, ms.grantVer, ms.lineAddr))
-			}
-			continue // serialized before our grant: superseded
-		}
 		switch ev.typ {
 		case network.MsgInv:
 			c.applyInvalidate(ms.lineAddr, now)
@@ -331,9 +358,19 @@ func (c *Cache) handleInv(m *network.Message, now uint64) {
 		ms.deferred = append(ms.deferred, deferredEvent{typ: network.MsgInv, tag: m.Tag})
 		return
 	}
-	if l := c.lookup(m.Line); l != nil && m.Tag > l.grantVer {
-		c.applyInvalidate(m.Line, now)
+	if l := c.lookup(m.Line); l != nil {
+		if m.Tag > l.grantVer {
+			c.applyInvalidate(m.Line, now)
+		} else {
+			// Superseded by a newer grant: the resident copy already
+			// reflects the write this invalidation announces, but the
+			// speculative-load buffer may hold values bound from the
+			// line's previous incarnation — notify without applying.
+			c.client.CoherenceEvent(m.Line, EvInvalidate, now)
+		}
 	}
+	// Absent line: whatever removed it (eviction, recall, earlier
+	// invalidation) already produced its own coherence event.
 }
 
 func (c *Cache) applyInvalidate(lineAddr uint64, now uint64) {
@@ -358,12 +395,18 @@ func (c *Cache) handleUpdate(m *network.Message, now uint64) {
 }
 
 func (c *Cache) applyUpdate(lineAddr, word uint64, value int64, tag uint64, now uint64) {
-	if l := c.lookup(lineAddr); l != nil && tag > l.grantVer {
+	l := c.lookup(lineAddr)
+	if l == nil {
+		return
+	}
+	if tag > l.grantVer {
 		l.data[c.geom.Offset(word)] = value
 		l.grantVer = tag
 		c.Stats.Counter("updates_received").Inc()
-		c.client.CoherenceEvent(lineAddr, EvUpdate, now)
 	}
+	// Notified even when superseded by a newer grant: the update still
+	// announces a write the speculative-load buffer may have raced.
+	c.client.CoherenceEvent(lineAddr, EvUpdate, now)
 }
 
 // handleUpdateAck credits a sharer ack to the outstanding write transaction

@@ -1,0 +1,128 @@
+package cache_test
+
+import (
+	"testing"
+
+	"mcmsim/internal/cache"
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/network"
+)
+
+// TestEvictionDuringPendingPrefetch fills the only way of a one-way cache
+// with a dirty line, then prefetches a conflicting line: the prefetch fill
+// must evict the dirty victim (writeback + replacement event) and a demand
+// access merged into the prefetch must still complete from the fill.
+func TestEvictionDuringPendingPrefetch(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 1, MaxMSHRs: 4, HitLatency: 1}
+	h := newHarness(t, 1, cfg, 1, coherence.ProtoInvalidate)
+	h.mem.WriteWord(0x41, 3)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqWrite, ID: 1, Addr: 0x40, Data: 7}, h.cycle)
+	h.settle(t)
+
+	if res := h.caches[0].Access(cache.Request{Kind: cache.ReqPrefetch, Addr: 0x41}, h.cycle); res != cache.Miss {
+		t.Fatalf("conflicting prefetch = %v, want Miss", res)
+	}
+	// While the prefetch is pending the dirty victim is still resident.
+	if st := h.caches[0].StateOf(0x40); st != cache.Modified {
+		t.Fatalf("victim state during prefetch = %v, want exclusive", st)
+	}
+	if res := h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x41}, h.cycle); res != cache.Merged {
+		t.Fatalf("demand read on pending prefetch = %v, want Merged", res)
+	}
+	h.settle(t)
+
+	if v, ok := h.clients[0].done(2); !ok || v != 3 {
+		t.Fatalf("merged read = %d,%v, want 3", v, ok)
+	}
+	if h.mem.ReadWord(0x40) != 7 {
+		t.Error("dirty victim of the prefetch fill not written back")
+	}
+	sawReplace := false
+	for _, ev := range h.clients[0].events {
+		if ev.line == 0x40 && ev.kind == cache.EvReplace {
+			sawReplace = true
+		}
+	}
+	if !sawReplace {
+		t.Error("replacement of the victim not reported to the client")
+	}
+	if st := h.caches[0].StateOf(0x41); st != cache.Shared {
+		t.Errorf("prefetched line state = %v, want shared", st)
+	}
+}
+
+// TestEarlyAndDuplicateInvAcksPooled injects invalidation acks that arrive
+// before the data response of an exclusive fill (and a duplicate of one):
+// they must be pooled by tag, not complete the fill early, and acks whose
+// tag never matches a grant must linger harmlessly.
+func TestEarlyAndDuplicateInvAcksPooled(t *testing.T) {
+	h := newHarness(t, 1, smallConfig(), 1, coherence.ProtoInvalidate)
+	if res := h.caches[0].Access(cache.Request{Kind: cache.ReqWrite, ID: 1, Addr: 0x40, Data: 9}, h.cycle); res != cache.Miss {
+		t.Fatalf("write = %v, want Miss", res)
+	}
+	// Two acks with a tag no directory grant will ever use, delivered while
+	// the MSHR is still waiting for its data response.
+	const bogusTag = 1 << 40
+	for i := 0; i < 2; i++ {
+		h.net.Post(network.Message{
+			Type: network.MsgInvAck, Src: 0, Dst: 0, Line: 0x40, Tag: bogusTag,
+		}, h.cycle)
+	}
+	h.run(2)
+	if _, ok := h.clients[0].done(1); ok {
+		t.Fatal("stray acks completed the write before the data arrived")
+	}
+	h.settle(t)
+	count := 0
+	for _, comp := range h.clients[0].completions {
+		if comp.id == 1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("write completed %d times, want exactly once", count)
+	}
+	if st := h.caches[0].StateOf(0x40); st != cache.Modified {
+		t.Fatalf("state = %v, want exclusive", st)
+	}
+}
+
+// TestInvalidationRacesEviction slides a remote write across the window in
+// which the local sharer evicts the line (replacement hint in flight): in
+// every interleaving — invalidation before the eviction, after it (absent
+// line, still acked promptly), or hint processed first (no invalidation at
+// all) — the writer completes exactly once and both caches converge on the
+// written value.
+func TestInvalidationRacesEviction(t *testing.T) {
+	for offset := uint64(0); offset < 30; offset++ {
+		cfg := cache.Config{Sets: 1, Ways: 1, MaxMSHRs: 4, HitLatency: 1}
+		h := newHarness(t, 2, cfg, 1, coherence.ProtoInvalidate)
+		// Cache 0 shares 0x40, then reads 0x41 to evict it.
+		h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 1, Addr: 0x40}, h.cycle)
+		h.settle(t)
+		h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x41}, h.cycle)
+		h.run(offset)
+		// Cache 1 writes 0x40 somewhere inside the eviction window.
+		if h.caches[1].Access(cache.Request{Kind: cache.ReqWrite, ID: 3, Addr: 0x40, Data: 5}, h.cycle) == cache.Blocked {
+			t.Fatalf("offset %d: write blocked", offset)
+		}
+		h.settle(t)
+		count := 0
+		for _, comp := range h.clients[1].completions {
+			if comp.id == 3 {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("offset %d: write completed %d times", offset, count)
+		}
+		for c := 0; c < 2; c++ {
+			id := uint64(10 + c)
+			h.caches[c].Access(cache.Request{Kind: cache.ReqRead, ID: id, Addr: 0x40}, h.cycle)
+			h.settle(t)
+			if v, ok := h.clients[c].done(id); !ok || v != 5 {
+				t.Fatalf("offset %d: cache %d reads %d,%v, want 5", offset, c, v, ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package conformance
+
+import (
+	"fmt"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/runner"
+	"mcmsim/internal/sim"
+)
+
+// The driver: run one generated program through the simulator across the
+// model x technique x timing grid and check each cell against the oracle.
+//
+// Invariants checked per cell (model m, technique t, timing g):
+//
+//  1. Containment: the observed outcome is in oracle(m). For m == SC the
+//     oracle is the exact interleaving set, so this is the paper's §1
+//     baseline claim; for every m it implies techniques never add
+//     outcomes the conventional model forbids (§4.2, §5.2), because
+//     oracle(m) is computed from the conventional delay arcs alone.
+//  2. Detector certificate: if the §6 detector reported zero possible
+//     violations, the outcome is sequentially consistent — it is in
+//     oracle(SC). The converse is deliberately NOT checked: the detector
+//     is conservative (cache-line granular, speculative-buffer matches),
+//     so it may fire on executions that happen to be SC.
+//  3. Fast-forward transparency: for a sample of cells the same
+//     configuration is re-run with DenseLoop set; halt cycle and outcome
+//     must match exactly.
+//
+// AdveHill and NST are deliberately outside the default grid: the former
+// is a §6 comparator machine whose early-store-commit window is the very
+// behaviour under study, the latter bypasses caching entirely; both are
+// covered by their own tests.
+
+// TechCell names one technique combination of the grid.
+type TechCell struct {
+	Name string
+	Tech core.Technique
+}
+
+// GridTechs is the technique axis: conventional, prefetch alone,
+// speculative loads (with the §4.2 reissue optimization), both combined
+// (the paper's headline configuration), and speculation with the §4.1
+// revalidate policy instead of reissue.
+func GridTechs() []TechCell {
+	return []TechCell{
+		{"conv", core.Technique{}},
+		{"pf", core.Technique{Prefetch: true}},
+		{"spec", core.Technique{SpecLoad: true, ReissueOpt: true}},
+		{"pf+spec", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+		{"spec+reval", core.Technique{SpecLoad: true, Revalidate: true}},
+	}
+}
+
+// TimingCell names one timing perturbation of the grid.
+type TimingCell struct {
+	Name string
+	Cfg  func() sim.Config
+}
+
+// GridTimings is the timing axis: the paper's canonical 100-cycle miss,
+// a near-hit machine (latency 24) that compresses every overlap window,
+// and a congested distributed machine (latency 220, two interleaved home
+// modules, one directory message per cycle) that stretches and reorders
+// them.
+func GridTimings() []TimingCell {
+	return []TimingCell{
+		{"paper", sim.PaperConfig},
+		{"fast", func() sim.Config { return sim.PaperConfig().WithMissLatency(24) }},
+		{"congested", func() sim.Config {
+			c := sim.PaperConfig().WithMissLatency(220)
+			c.MemModules = 2
+			c.DirBandwidth = 1
+			return c
+		}},
+	}
+}
+
+// Violation is one failed invariant: the cell, what was observed, and why
+// it is wrong. Program carries the abstract program for minimization.
+type Violation struct {
+	Program Program
+	Cell    string // "model/tech/timing"
+	Kind    string // "containment" | "detector" | "dense" | "error"
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Cell, v.Kind, v.Detail)
+}
+
+// CheckOptions trims the grid. The zero value is the full grid.
+type CheckOptions struct {
+	// Quick restricts the timing axis to the paper configuration and the
+	// dense twins to SC/conv — the per-exec budget of the fuzz target.
+	Quick bool
+}
+
+// cellResult is one simulator run's observables.
+type cellResult struct {
+	outcome    string
+	cycles     uint64
+	detections uint64
+}
+
+// runCell builds and runs one configuration and extracts the outcome.
+func runCell(p Program, progs []*isa.Program, m core.Model, tech core.Technique, cfg sim.Config, dense bool) (cellResult, error) {
+	cfg.Procs = len(progs)
+	cfg.Model = m
+	cfg.Tech = tech
+	cfg.Tech.DetectSC = true // the §6 monitor is passive; always watch
+	cfg.DenseLoop = dense
+	s := sim.New(cfg, progs)
+	cycles, err := s.Run()
+	if err != nil {
+		return cellResult{}, err
+	}
+	binds := make([][]int64, len(p.Ops))
+	for i := range p.Ops {
+		n := p.NumReads(i)
+		binds[i] = make([]int64, n)
+		for k := 0; k < n; k++ {
+			binds[i][k] = s.ReadCoherent(ObsSlot(i, k))
+		}
+	}
+	mem := make([]int64, p.NAddr)
+	for a := range mem {
+		mem[a] = s.ReadCoherent(SharedAddr(a))
+	}
+	var det uint64
+	for _, u := range s.LSUs {
+		det += u.SCViolations()
+	}
+	return cellResult{outcome: outcomeString(binds, mem), cycles: cycles, detections: det}, nil
+}
+
+// Stats aggregates what a check actually exercised — in particular how
+// many cells produced an outcome outside the SC set. If Relaxed stays
+// zero across a large batch the containment checks for the weak models
+// are vacuous, so the driver surfaces it.
+type Stats struct {
+	Cells      int // fast-forward grid cells run
+	Relaxed    int // cells whose outcome is outside oracle(SC)
+	Detections int // cells where the §6 detector reported >= 1 possible violation
+}
+
+func (s *Stats) add(o Stats) {
+	s.Cells += o.Cells
+	s.Relaxed += o.Relaxed
+	s.Detections += o.Detections
+}
+
+// CheckProgram runs the whole grid for one program and returns every
+// violation found (empty = conformant). Oracle extraction failure is
+// reported as a single "error" violation rather than an invariant breach.
+func CheckProgram(p Program, opts CheckOptions) (Stats, []Violation) {
+	var stats Stats
+	progs := p.Build()
+	shared := p.SharedAddrs()
+
+	oracle := make(map[core.Model]OutcomeSet, len(core.AllModels))
+	for _, m := range core.AllModels {
+		set, err := ModelOutcomes(progs, shared, m)
+		if err != nil {
+			return stats, []Violation{{Program: p, Cell: "oracle/" + m.String(), Kind: "error", Detail: err.Error()}}
+		}
+		oracle[m] = set
+	}
+	scSet := oracle[core.SC]
+
+	timings := GridTimings()
+	if opts.Quick {
+		timings = timings[:1]
+	}
+
+	var viols []Violation
+	for _, m := range core.AllModels {
+		for _, tc := range GridTechs() {
+			for _, tg := range timings {
+				cell := fmt.Sprintf("%s/%s/%s", m, tc.Name, tg.Name)
+				res, err := runCell(p, progs, m, tc.Tech, tg.Cfg(), false)
+				if err != nil {
+					viols = append(viols, Violation{Program: p, Cell: cell, Kind: "error", Detail: err.Error()})
+					continue
+				}
+				stats.Cells++
+				if !scSet.Has(res.outcome) {
+					stats.Relaxed++
+				}
+				if res.detections > 0 {
+					stats.Detections++
+				}
+				if !oracle[m].Has(res.outcome) {
+					viols = append(viols, Violation{
+						Program: p, Cell: cell, Kind: "containment",
+						Detail: fmt.Sprintf("outcome %q not allowed by %s; allowed: %v",
+							res.outcome, m, oracle[m].Sorted()),
+					})
+				}
+				if res.detections == 0 && !scSet.Has(res.outcome) {
+					viols = append(viols, Violation{
+						Program: p, Cell: cell, Kind: "detector",
+						Detail: fmt.Sprintf("detector silent but outcome %q is not SC; SC set: %v",
+							res.outcome, scSet.Sorted()),
+					})
+				}
+				// Fast-forward transparency: dense twin of the paper-timing
+				// cells for the boundary techniques (conv and pf+spec).
+				if tg.Name == "paper" && (tc.Name == "conv" || tc.Name == "pf+spec") {
+					if opts.Quick && !(m == core.SC && tc.Name == "conv") {
+						continue
+					}
+					dres, derr := runCell(p, progs, m, tc.Tech, tg.Cfg(), true)
+					if derr != nil {
+						viols = append(viols, Violation{Program: p, Cell: cell + "/dense", Kind: "error", Detail: derr.Error()})
+						continue
+					}
+					if dres.outcome != res.outcome || dres.cycles != res.cycles {
+						viols = append(viols, Violation{
+							Program: p, Cell: cell, Kind: "dense",
+							Detail: fmt.Sprintf("fast-forward (%q, %d cycles) != dense (%q, %d cycles)",
+								res.outcome, res.cycles, dres.outcome, dres.cycles),
+						})
+					}
+				}
+			}
+		}
+	}
+	return stats, viols
+}
+
+// Report is the aggregate of a conformance batch.
+type Report struct {
+	Programs   int
+	Stats      Stats
+	Violations []Violation
+}
+
+// CellsPerProgram is the number of fast-forward grid cells CheckProgram
+// visits with the full grid (dense twins excluded).
+func CellsPerProgram() int {
+	return len(core.AllModels) * len(GridTechs()) * len(GridTimings())
+}
+
+// CheckBatch generates programs for seeds seed..seed+n-1 and checks each
+// across the grid, running programs in parallel on the runner's worker
+// pool. Results are deterministic for any worker count: each program is an
+// independent job and violations are collected in seed order.
+func CheckBatch(seed int64, n int, params Params, workers int, opts CheckOptions, progress func(done, total int)) Report {
+	jobs := make([]runner.Job, n)
+	viols := make([][]Violation, n)
+	stats := make([]Stats, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p := Generate(seed+int64(i), params)
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("conform/seed%d", seed+int64(i)),
+			Run: func(*sim.System) (runner.Row, error) {
+				stats[i], viols[i] = CheckProgram(p, opts)
+				return runner.Row{}, nil
+			},
+		}
+	}
+	done := 0
+	results := runner.Run(jobs, runner.Options{Workers: workers, OnProgress: func(pr runner.Progress) {
+		done++
+		if progress != nil {
+			progress(done, n)
+		}
+	}})
+	rep := Report{Programs: n}
+	for i := range viols {
+		if err := results[i].Err; err != nil {
+			// A panic inside CheckProgram is itself a conformance failure.
+			rep.Violations = append(rep.Violations, Violation{
+				Program: Generate(seed+int64(i), params),
+				Cell:    results[i].Name, Kind: "error", Detail: err.Error(),
+			})
+			continue
+		}
+		rep.Stats.add(stats[i])
+		rep.Violations = append(rep.Violations, viols[i]...)
+	}
+	return rep
+}

@@ -1,0 +1,62 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCheckProgramLitmusGrid runs the full model x technique x timing grid
+// on the classic litmus shapes — the hand-written core of what cmd/conform
+// does at scale.
+func TestCheckProgramLitmusGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	programs := map[string]Program{
+		"SB": {NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KLoad, Addr: 1}},
+			{{Kind: KStore, Addr: 1, Val: 3}, {Kind: KLoad, Addr: 0}},
+		}},
+		"MP+sync": {NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KRelease, Addr: 1, Val: 3}},
+			{{Kind: KAcquire, Addr: 1}, {Kind: KLoad, Addr: 0}},
+		}},
+	}
+	for name, p := range programs {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			_, viols := CheckProgram(p, CheckOptions{})
+			for _, v := range viols {
+				t.Errorf("%v", v)
+			}
+		})
+	}
+}
+
+// TestCheckBatchSmoke runs a small random batch through the full grid.
+func TestCheckBatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	rep := CheckBatch(1, 4, Params{}, 0, CheckOptions{}, nil)
+	for _, v := range rep.Violations {
+		t.Errorf("%v\nprogram:\n%v", v, v.Program)
+	}
+	if rep.Stats.Cells != 4*CellsPerProgram() {
+		t.Errorf("cells = %d, want %d", rep.Stats.Cells, 4*CellsPerProgram())
+	}
+}
+
+// TestCheckBatchDeterministicAcrossWorkers: the report must not depend on
+// the worker count (results are collected in seed order).
+func TestCheckBatchDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	a := CheckBatch(7, 3, Params{}, 1, CheckOptions{Quick: true}, nil)
+	b := CheckBatch(7, 3, Params{}, 4, CheckOptions{Quick: true}, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reports differ across worker counts:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,93 @@
+package conformance
+
+import "mcmsim/internal/isa"
+
+// rmwKinds enumerates the atomic flavours the codec can express.
+var rmwKinds = [...]isa.RMWKind{isa.RMWTestAndSet, isa.RMWFetchAdd, isa.RMWSwap}
+
+func rmwIndex(k isa.RMWKind) int {
+	for i, r := range rmwKinds {
+		if r == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// Byte codec between fuzzer inputs and abstract programs. Decode is total
+// over arbitrary byte strings (every input maps to some valid program, so
+// the fuzzer never wastes executions on rejected inputs); Encode produces
+// the canonical bytes Decode maps back to the same program, which is how
+// the litmus seed corpus is expressed.
+//
+// Layout: [procs%2] [naddr%3] then per processor [count%(MaxProcOps+1)]
+// followed by count (kind, addr) byte pairs. Store values are assigned
+// sequentially by Decode, exactly like Generate, so they never collide
+// with test-and-set's constant 1.
+
+// Decode maps fuzzer bytes to a program. Truncated input yields fewer
+// operations; excess input is ignored.
+func Decode(data []byte) Program {
+	next := func() (byte, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		b := data[0]
+		data = data[1:]
+		return b, true
+	}
+	b0, _ := next()
+	b1, _ := next()
+	procs := 2 + int(b0)%(MaxProcs-1)
+	naddr := 2 + int(b1)%(MaxAddrs-1)
+	p := Program{NAddr: naddr, Ops: make([][]Op, procs)}
+	total := 0
+	nextVal := int64(2)
+	for i := range p.Ops {
+		cb, ok := next()
+		if !ok {
+			break
+		}
+		n := int(cb) % (MaxProcOps + 1)
+		for k := 0; k < n && total < MaxTotalOps; k++ {
+			kb, ok := next()
+			if !ok {
+				return p
+			}
+			ab, _ := next()
+			op := Op{
+				Kind: OpKind(kb % byte(numOpKinds)),
+				Addr: int(ab) % naddr,
+			}
+			if op.Kind == KRMW {
+				op.RMW = rmwKinds[(int(kb)/int(numOpKinds))%len(rmwKinds)]
+			}
+			if op.Kind == KStore || op.Kind == KRelease || op.Kind == KRMW {
+				op.Val = nextVal
+				nextVal++
+			}
+			p.Ops[i] = append(p.Ops[i], op)
+			total++
+		}
+	}
+	return p
+}
+
+// Encode produces the canonical byte string for a program, suitable as a
+// fuzz corpus entry: Decode(Encode(p)) reproduces p's shape (kinds and
+// addresses; values are reassigned canonically).
+func Encode(p Program) []byte {
+	var out []byte
+	out = append(out, byte(len(p.Ops)-2), byte(p.NAddr-2))
+	for _, ops := range p.Ops {
+		out = append(out, byte(len(ops)))
+		for _, op := range ops {
+			kb := byte(op.Kind)
+			if op.Kind == KRMW {
+				kb += byte(numOpKinds) * byte(rmwIndex(op.RMW))
+			}
+			out = append(out, kb, byte(op.Addr))
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"testing"
+
+	"mcmsim/internal/isa"
+)
+
+// litmusSeeds is the fuzz seed corpus: the classic litmus shapes of
+// internal/workload expressed as abstract programs (spin loops approximated
+// by a single acquire load — the generator fragment is loop-free), plus a
+// 3-processor write-to-read causality test and an atomic-handoff test.
+func litmusSeeds() []Program {
+	return []Program{
+		// Store buffering (Dekker).
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KLoad, Addr: 1}},
+			{{Kind: KStore, Addr: 1, Val: 3}, {Kind: KLoad, Addr: 0}},
+		}},
+		// Store buffering with release/acquire ordering.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KRelease, Addr: 0, Val: 2}, {Kind: KAcquire, Addr: 1}},
+			{{Kind: KRelease, Addr: 1, Val: 3}, {Kind: KAcquire, Addr: 0}},
+		}},
+		// Message passing, unsynchronized.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KStore, Addr: 1, Val: 3}},
+			{{Kind: KLoad, Addr: 1}, {Kind: KLoad, Addr: 0}},
+		}},
+		// Message passing with release/acquire.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KRelease, Addr: 1, Val: 3}},
+			{{Kind: KAcquire, Addr: 1}, {Kind: KLoad, Addr: 0}},
+		}},
+		// Load buffering.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KLoad, Addr: 0}, {Kind: KStore, Addr: 1, Val: 2}},
+			{{Kind: KLoad, Addr: 1}, {Kind: KStore, Addr: 0, Val: 3}},
+		}},
+		// Write-to-read causality, three processors.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}},
+			{{Kind: KLoad, Addr: 0}, {Kind: KRelease, Addr: 1, Val: 3}},
+			{{Kind: KAcquire, Addr: 1}, {Kind: KLoad, Addr: 0}},
+		}},
+		// Atomic handoff: contended test-and-set guarding a plain store.
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}, {Kind: KStore, Addr: 1, Val: 2}},
+			{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}, {Kind: KLoad, Addr: 1}},
+		}},
+	}
+}
+
+// FuzzConformance decodes arbitrary bytes into a litmus program and checks
+// the paper-timing grid against the oracle. Every input decodes to some
+// valid program, so the fuzzer explores program shapes, not parser errors.
+func FuzzConformance(f *testing.F) {
+	for _, p := range litmusSeeds() {
+		f.Add(Encode(p))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := Decode(data)
+		if p.NumOps() == 0 {
+			return
+		}
+		_, viols := CheckProgram(p, CheckOptions{Quick: true})
+		for _, v := range viols {
+			t.Errorf("%v\nprogram:\n%v", v, p)
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package conformance is the model-conformance fuzzing tier: a seeded
+// random litmus-program generator, an exhaustive reference oracle that
+// enumerates every outcome a consistency model allows, and a driver that
+// runs each generated program through the full simulator across the
+// model x technique x timing grid and checks the paper's invariants
+// (§4.2, §5.2, §6):
+//
+//   - every outcome of an SC configuration is in the exhaustive SC
+//     outcome set;
+//   - prefetching and speculative loads never produce an outcome the
+//     base model's conventional delay arcs forbid;
+//   - the idle-cycle fast-forward scheduler is observationally identical
+//     to dense stepping;
+//   - the SC-violation detector's certificate holds: zero detections
+//     implies the execution was sequentially consistent.
+//
+// Any divergence is a real simulator bug; the package minimizes the
+// failing program before reporting it.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mcmsim/internal/isa"
+)
+
+// Memory layout of generated programs. Shared variables are spaced a full
+// 64-word stride apart so they never share a cache line at any LineWords
+// the simulator uses; observation slots live in a disjoint region.
+const (
+	sharedBase   = 0x300
+	sharedStride = 0x40
+	obsBase      = 0xA00
+	obsProcBase  = 0x100 // per-processor observation region stride
+	obsSlotSize  = 0x10
+)
+
+// Generator bounds. MaxTotalOps keeps the oracle's state space tractable
+// (ISSUE: ~10-op programs); MaxProcOps bounds one processor's share.
+const (
+	MaxProcs    = 3
+	MaxAddrs    = 4
+	MaxProcOps  = 5
+	MaxTotalOps = 12
+)
+
+// OpKind enumerates the generated operation kinds.
+type OpKind uint8
+
+// Generated operation kinds.
+const (
+	KLoad OpKind = iota
+	KStore
+	KAcquire
+	KRelease
+	KRMW
+	KPrefetch
+	KPrefetchEx
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KLoad:
+		return "ld"
+	case KStore:
+		return "st"
+	case KAcquire:
+		return "ld.acq"
+	case KRelease:
+		return "st.rel"
+	case KRMW:
+		return "rmw"
+	case KPrefetch:
+		return "pf"
+	case KPrefetchEx:
+		return "pf.x"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one generated operation: a kind, a shared-variable index, and for
+// writes the stored value (or the RMW operand and flavour).
+type Op struct {
+	Kind OpKind
+	Addr int // index into the shared-variable set
+	Val  int64
+	RMW  isa.RMWKind
+}
+
+// Program is an abstract multi-processor litmus program: per-processor
+// straight-line operation lists over a small set of shared variables.
+// Build lowers it onto the ISA; the oracle enumerates its allowed
+// outcomes; Check runs it through the simulator grid.
+type Program struct {
+	Seed  int64 // generator seed, for reproducers (0 for decoded inputs)
+	NAddr int
+	Ops   [][]Op
+}
+
+// Params bounds the generator. Zero values select the defaults noted.
+type Params struct {
+	Procs   int // processors; 0 = random in [2, MaxProcs]
+	Addrs   int // shared variables; 0 = random in [2, MaxAddrs]
+	ProcOps int // max ops per processor; 0 = MaxProcOps
+}
+
+// Generate draws one random program. The same seed always yields the same
+// program (math/rand's deterministic stream), which is what makes every
+// conformance failure reproducible from its seed alone.
+func Generate(seed int64, params Params) Program {
+	rng := rand.New(rand.NewSource(seed))
+	procs := params.Procs
+	if procs <= 0 {
+		procs = 2 + rng.Intn(MaxProcs-1)
+	}
+	naddr := params.Addrs
+	if naddr <= 0 {
+		naddr = 2 + rng.Intn(MaxAddrs-1)
+	}
+	maxOps := params.ProcOps
+	if maxOps <= 0 {
+		maxOps = MaxProcOps
+	}
+	p := Program{Seed: seed, NAddr: naddr, Ops: make([][]Op, procs)}
+	total := 0
+	nextVal := int64(2) // 1 is test-and-set's stored value; keep constants distinct
+	for i := range p.Ops {
+		n := 1 + rng.Intn(maxOps)
+		if rem := MaxTotalOps - total; n > rem {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			op := Op{Addr: rng.Intn(naddr)}
+			switch draw := rng.Intn(100); {
+			case draw < 30:
+				op.Kind = KLoad
+			case draw < 58:
+				op.Kind = KStore
+			case draw < 68:
+				op.Kind = KAcquire
+			case draw < 78:
+				op.Kind = KRelease
+			case draw < 90:
+				op.Kind = KRMW
+				op.RMW = isa.RMWKind(rng.Intn(3))
+			case draw < 95:
+				op.Kind = KPrefetch
+			default:
+				op.Kind = KPrefetchEx
+			}
+			if op.Kind == KStore || op.Kind == KRelease || op.Kind == KRMW {
+				op.Val = nextVal
+				nextVal++
+			}
+			p.Ops[i] = append(p.Ops[i], op)
+		}
+		total += len(p.Ops[i])
+	}
+	return p
+}
+
+// SharedAddr returns the word address of shared variable i.
+func SharedAddr(i int) uint64 { return sharedBase + uint64(i)*sharedStride }
+
+// ObsSlot returns the observation-slot address for the k-th
+// register-binding read (load, acquire, or RMW) of processor p.
+func ObsSlot(p, k int) uint64 {
+	return obsBase + uint64(p)*obsProcBase + uint64(k)*obsSlotSize
+}
+
+// SharedAddrs lists the program's shared-variable addresses.
+func (p Program) SharedAddrs() []uint64 {
+	out := make([]uint64, p.NAddr)
+	for i := range out {
+		out[i] = SharedAddr(i)
+	}
+	return out
+}
+
+// NumReads returns the number of register-binding reads of processor i.
+func (p Program) NumReads(i int) int {
+	n := 0
+	for _, op := range p.Ops[i] {
+		if op.Kind == KLoad || op.Kind == KAcquire || op.Kind == KRMW {
+			n++
+		}
+	}
+	return n
+}
+
+// Build lowers the abstract program onto the ISA. Each processor performs
+// its operations in order, keeps every read's value in a dedicated
+// register, then deposits the observed values into its observation slots
+// (the LitR0/LitR1 idiom of internal/workload) and halts. The observation
+// stores touch only processor-private addresses, so they never perturb the
+// shared-memory behaviour under test.
+func (p Program) Build() []*isa.Program {
+	progs := make([]*isa.Program, len(p.Ops))
+	for i, ops := range p.Ops {
+		b := isa.NewBuilder()
+		nextReg := isa.R1
+		var obsRegs []isa.Reg
+		for _, op := range ops {
+			addr := int64(SharedAddr(op.Addr))
+			switch op.Kind {
+			case KLoad:
+				b.LoadAbs(nextReg, addr)
+				obsRegs = append(obsRegs, nextReg)
+				nextReg++
+			case KAcquire:
+				b.AcquireLoadAbs(nextReg, addr)
+				obsRegs = append(obsRegs, nextReg)
+				nextReg++
+			case KStore:
+				b.Li(nextReg, op.Val)
+				b.StoreAbs(nextReg, addr)
+				nextReg++
+			case KRelease:
+				b.Li(nextReg, op.Val)
+				b.ReleaseStoreAbs(nextReg, addr)
+				nextReg++
+			case KRMW:
+				src := nextReg
+				b.Li(src, op.Val)
+				nextReg++
+				b.RMW(op.RMW, nextReg, src, isa.R0, addr)
+				obsRegs = append(obsRegs, nextReg)
+				nextReg++
+			case KPrefetch:
+				b.PrefetchAbs(addr)
+			case KPrefetchEx:
+				b.PrefetchExAbs(addr)
+			}
+		}
+		for k, r := range obsRegs {
+			b.StoreAbs(r, int64(ObsSlot(i, k)))
+		}
+		b.Halt()
+		progs[i] = b.Build()
+	}
+	return progs
+}
+
+// NumOps returns the total operation count.
+func (p Program) NumOps() int {
+	n := 0
+	for _, ops := range p.Ops {
+		n += len(ops)
+	}
+	return n
+}
+
+// String renders the abstract program, one processor per line.
+func (p Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d addrs=%d\n", p.Seed, p.NAddr)
+	for i, ops := range p.Ops {
+		fmt.Fprintf(&b, "  P%d:", i)
+		for _, op := range ops {
+			switch op.Kind {
+			case KStore, KRelease:
+				fmt.Fprintf(&b, " %s[A%d]=%d;", op.Kind, op.Addr, op.Val)
+			case KRMW:
+				fmt.Fprintf(&b, " rmw.%s[A%d],%d;", op.RMW, op.Addr, op.Val)
+			default:
+				fmt.Fprintf(&b, " %s[A%d];", op.Kind, op.Addr)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WithoutOp returns a copy of the program with operation idx of processor
+// proc removed (the minimizer's one-step reduction). Empty processors are
+// kept so processor indices remain stable.
+func (p Program) WithoutOp(proc, idx int) Program {
+	out := Program{Seed: p.Seed, NAddr: p.NAddr, Ops: make([][]Op, len(p.Ops))}
+	for i, ops := range p.Ops {
+		if i != proc {
+			out.Ops[i] = append([]Op(nil), ops...)
+			continue
+		}
+		out.Ops[i] = append(append([]Op(nil), ops[:idx]...), ops[idx+1:]...)
+	}
+	return out
+}

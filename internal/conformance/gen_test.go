@@ -1,0 +1,109 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmsim/internal/core"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, Params{})
+		b := Generate(seed, Params{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%v\n%v", seed, a, b)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, Params{})
+		if len(p.Ops) < 2 || len(p.Ops) > MaxProcs {
+			t.Fatalf("seed %d: %d processors", seed, len(p.Ops))
+		}
+		if p.NAddr < 2 || p.NAddr > MaxAddrs {
+			t.Fatalf("seed %d: %d addresses", seed, p.NAddr)
+		}
+		if p.NumOps() > MaxTotalOps {
+			t.Fatalf("seed %d: %d ops", seed, p.NumOps())
+		}
+		for _, ops := range p.Ops {
+			for _, op := range ops {
+				if op.Addr < 0 || op.Addr >= p.NAddr {
+					t.Fatalf("seed %d: address index %d out of range", seed, op.Addr)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsAnalyzable: everything the generator emits must be
+// inside the oracle's fragment once built onto the ISA.
+func TestGeneratedProgramsAnalyzable(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, Params{})
+		if _, err := NewOracle(p.Build(), p.SharedAddrs(), core.SC); err != nil {
+			t.Fatalf("seed %d not analyzable: %v\n%v", seed, err, p)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip: Decode(Encode(p)) reproduces the program
+// exactly — Decode assigns store values in the same canonical order the
+// generator does.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, Params{})
+		q := Decode(Encode(p))
+		if !reflect.DeepEqual(p.Ops, q.Ops) || p.NAddr != q.NAddr {
+			t.Fatalf("seed %d: roundtrip mismatch:\n%v\n%v", seed, p, q)
+		}
+	}
+}
+
+// TestDecodeTotal: arbitrary bytes always decode to an in-bounds program.
+func TestDecodeTotal(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{0},
+		{0xff},
+		{0xff, 0xff, 0xff},
+		{1, 2, 5, 4, 0, 4, 1, 4, 2},
+		{9, 9, 200, 200, 200, 200, 200, 200, 200, 200, 200, 200, 200, 200},
+	}
+	for _, in := range inputs {
+		p := Decode(in)
+		if len(p.Ops) < 2 || p.NAddr < 2 || p.NumOps() > MaxTotalOps {
+			t.Fatalf("Decode(%v) out of bounds: %v", in, p)
+		}
+		for _, ops := range p.Ops {
+			if len(ops) > MaxProcOps {
+				t.Fatalf("Decode(%v): processor with %d ops", in, len(ops))
+			}
+			for _, op := range ops {
+				if op.Addr >= p.NAddr || op.Kind >= numOpKinds {
+					t.Fatalf("Decode(%v): bad op %+v", in, op)
+				}
+			}
+		}
+	}
+}
+
+func TestWithoutOp(t *testing.T) {
+	p := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KLoad, Addr: 1}},
+		{{Kind: KLoad, Addr: 0}},
+	}}
+	q := p.WithoutOp(0, 0)
+	if len(q.Ops[0]) != 1 || q.Ops[0][0].Kind != KLoad {
+		t.Fatalf("WithoutOp(0,0) = %v", q)
+	}
+	if len(p.Ops[0]) != 2 {
+		t.Fatal("WithoutOp mutated the original")
+	}
+	if len(q.Ops[1]) != 1 {
+		t.Fatalf("WithoutOp touched another processor: %v", q)
+	}
+}

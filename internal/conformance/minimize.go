@@ -1,0 +1,43 @@
+package conformance
+
+// Minimize greedily shrinks a failing program: it repeatedly removes a
+// single operation and keeps the removal whenever the program still fails,
+// until no single-op removal preserves the failure (1-minimality). failing
+// must be a pure predicate of the program; Minimize never returns a
+// passing program when given a failing one.
+func Minimize(p Program, failing func(Program) bool) Program {
+	for changed := true; changed; {
+		changed = false
+		for proc := range p.Ops {
+			for i := 0; i < len(p.Ops[proc]); {
+				cand := p.WithoutOp(proc, i)
+				if failing(cand) {
+					p = cand
+					changed = true
+					continue // same index now names the next op
+				}
+				i++
+			}
+		}
+	}
+	return p
+}
+
+// MinimizeViolation shrinks a program that produced conformance
+// violations, re-running the (deterministic) grid on each candidate. A
+// candidate that panics the simulator counts as failing — panics are the
+// most valuable reproducers.
+func MinimizeViolation(p Program, opts CheckOptions) Program {
+	return Minimize(p, func(c Program) (failed bool) {
+		if c.NumOps() == 0 {
+			return false
+		}
+		defer func() {
+			if recover() != nil {
+				failed = true
+			}
+		}()
+		_, viols := CheckProgram(c, opts)
+		return len(viols) > 0
+	})
+}

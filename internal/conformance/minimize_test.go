@@ -1,0 +1,47 @@
+package conformance
+
+import "testing"
+
+// TestMinimizeFakePredicate drives the minimizer with a synthetic failure
+// predicate — the program "fails" while processor 0 stores to A0 and
+// processor 1 loads A0 — and checks it reaches the 2-op 1-minimal core.
+func TestMinimizeFakePredicate(t *testing.T) {
+	failing := func(p Program) bool {
+		st, ld := false, false
+		for _, op := range p.Ops[0] {
+			if op.Kind == KStore && op.Addr == 0 {
+				st = true
+			}
+		}
+		for _, op := range p.Ops[1] {
+			if op.Kind == KLoad && op.Addr == 0 {
+				ld = true
+			}
+		}
+		return st && ld
+	}
+	p := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KLoad, Addr: 1}, {Kind: KStore, Addr: 0, Val: 2}, {Kind: KRelease, Addr: 1, Val: 3}},
+		{{Kind: KStore, Addr: 1, Val: 4}, {Kind: KLoad, Addr: 0}, {Kind: KLoad, Addr: 1}},
+	}}
+	if !failing(p) {
+		t.Fatal("setup: seed program must fail")
+	}
+	m := Minimize(p, failing)
+	if !failing(m) {
+		t.Fatal("minimized program no longer fails")
+	}
+	if m.NumOps() != 2 {
+		t.Fatalf("minimized to %d ops, want 2:\n%v", m.NumOps(), m)
+	}
+}
+
+// TestMinimizeKeepsPassingUntouched: a predicate nothing satisfies leaves
+// the program as-is (Minimize only commits reductions that still fail).
+func TestMinimizeNoFalseReduction(t *testing.T) {
+	p := Generate(3, Params{})
+	m := Minimize(p, func(Program) bool { return false })
+	if m.NumOps() != p.NumOps() {
+		t.Fatalf("minimizer reduced a program whose reductions never fail")
+	}
+}

@@ -1,0 +1,368 @@
+package conformance
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+)
+
+// The oracle is an operational reference model: an abstract machine with a
+// single multi-copy-atomic memory and per-processor op lists, where one
+// enabled operation performs atomically per step. Exhaustive memoized DFS
+// over the interleavings of enabled operations yields the complete set of
+// final outcomes the consistency model allows.
+//
+// An operation is enabled exactly when the LSU's issue conditions would let
+// it perform with every older-but-unperformed access still outstanding:
+//
+//   - Figure 1's delay arcs (core.Blocks) against every older unperformed
+//     op — this is the whole per-model difference; under SC every arc
+//     blocks, so the oracle degenerates to exact program-order
+//     interleavings;
+//   - writes (stores, releases, RMWs) additionally wait for all older
+//     reads (precise retirement: the store buffer accepts a store only at
+//     ROB head, by which point every older load has bound) and for older
+//     same-address writes (the store buffer is FIFO, so same-line writes
+//     perform in program order);
+//   - a plain or acquire read with a youngest older unperformed
+//     same-address plain store binds that store's value by forwarding —
+//     the read performs early, the store stays pending (read-own-write-
+//     early, §2's "read bypasses write" relaxation). A pending older
+//     same-address RMW blocks the read instead: atomics never forward.
+//
+// Two deliberate over-approximations keep the oracle a sound superset for
+// the relaxed models while leaving SC exact (both are gated behind arcs
+// that block under SC): same-address read-read pairs are unordered, and
+// forwarding is allowed whenever the arcs permit the read to perform. A
+// containment check against a superset can miss bugs but never reports a
+// false violation.
+
+// oracleOp is one abstract operation of the reference machine.
+type oracleOp struct {
+	class core.AccessClass
+	op    isa.Op
+	addr  int // shared-variable index
+	data  isa.DataRef
+	rmw   isa.RMWKind
+	read  int // per-processor read-binding index, or -1
+}
+
+// maxOracleStates bounds the memo table; the generator's MaxTotalOps keeps
+// real programs far below it, so hitting the cap means a harness bug.
+const maxOracleStates = 1 << 22
+
+// ErrNotAnalyzable reports a program outside the oracle's fragment (not
+// straight-line, or a register-binding read from a non-shared address).
+var ErrNotAnalyzable = errors.New("conformance: program not analyzable by the oracle")
+
+// Oracle enumerates the outcomes one consistency model allows for one
+// program. Build it once per (program, model) pair; Outcomes runs the
+// search.
+type Oracle struct {
+	model  core.Model
+	procs  [][]oracleOp
+	naddr  int
+	nreads []int
+	memo   map[string]struct{}
+	out    OutcomeSet
+}
+
+// OutcomeSet is a set of canonical outcome strings (see outcomeString).
+type OutcomeSet map[string]struct{}
+
+// Has reports membership.
+func (s OutcomeSet) Has(o string) bool { _, ok := s[o]; return ok }
+
+// Sorted returns the outcomes in lexicographic order.
+func (s OutcomeSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset reports whether every outcome of s is in t.
+func (s OutcomeSet) Subset(t OutcomeSet) bool {
+	for o := range s {
+		if !t.Has(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewOracle extracts the abstract program from the built per-processor ISA
+// programs. shared lists the shared-variable addresses (index order defines
+// variable numbering). Operations on other addresses are processor-private
+// scaffolding (observation-slot stores) and are dropped; prefetches are
+// non-binding hints and are dropped too. A register-binding read from a
+// private address would make outcome extraction ambiguous, so it is
+// rejected with ErrNotAnalyzable.
+func NewOracle(progs []*isa.Program, shared []uint64, m core.Model) (*Oracle, error) {
+	idx := make(map[uint64]int, len(shared))
+	for i, a := range shared {
+		idx[a] = i
+	}
+	o := &Oracle{
+		model:  m,
+		procs:  make([][]oracleOp, len(progs)),
+		naddr:  len(shared),
+		nreads: make([]int, len(progs)),
+	}
+	for p, prog := range progs {
+		mops, ok := prog.MemOps()
+		if !ok {
+			return nil, fmt.Errorf("%w: P%d is not straight-line", ErrNotAnalyzable, p)
+		}
+		// Remap MemOp read indices to the kept-op read numbering. Since
+		// binding reads from private addresses are rejected, the map is
+		// the identity, but building it keeps the invariant explicit.
+		readMap := make(map[int]int)
+		reads := 0
+		for _, mo := range mops {
+			if mo.Op == isa.OpPrefetch || mo.Op == isa.OpPrefetchEx {
+				continue
+			}
+			ai, isShared := idx[mo.Addr]
+			if !isShared {
+				if mo.IsRead() {
+					return nil, fmt.Errorf("%w: P%d reads private address %#x", ErrNotAnalyzable, p, mo.Addr)
+				}
+				continue // observation-slot store: no shared-memory effect
+			}
+			oop := oracleOp{
+				class: core.ClassOfOp(mo.Op),
+				op:    mo.Op,
+				addr:  ai,
+				rmw:   mo.RMW,
+				read:  -1,
+			}
+			if mo.IsWrite() {
+				d := mo.Data
+				if !d.IsConst() {
+					r, ok := readMap[d.FromLoad]
+					if !ok {
+						return nil, fmt.Errorf("%w: P%d store data from dropped read %d", ErrNotAnalyzable, p, d.FromLoad)
+					}
+					d.FromLoad = r
+				}
+				oop.data = d
+			}
+			if mo.IsRead() {
+				readMap[mo.ReadIdx] = reads
+				oop.read = reads
+				reads++
+			}
+			o.procs[p] = append(o.procs[p], oop)
+			if len(o.procs[p]) > 16 {
+				return nil, fmt.Errorf("%w: P%d has more than 16 shared ops", ErrNotAnalyzable, p)
+			}
+		}
+		o.nreads[p] = reads
+	}
+	return o, nil
+}
+
+// oracleState is the abstract machine state during the search.
+type oracleState struct {
+	mask  []uint32  // per-proc bitmask of performed ops
+	mem   []int64   // shared memory image
+	binds [][]int64 // per-proc read bindings (valid once the read performed)
+}
+
+func (st *oracleState) clone() *oracleState {
+	c := &oracleState{
+		mask:  append([]uint32(nil), st.mask...),
+		mem:   append([]int64(nil), st.mem...),
+		binds: make([][]int64, len(st.binds)),
+	}
+	for i, b := range st.binds {
+		c.binds[i] = append([]int64(nil), b...)
+	}
+	return c
+}
+
+func (st *oracleState) key() string {
+	var b []byte
+	for _, m := range st.mask {
+		b = binary.LittleEndian.AppendUint32(b, m)
+	}
+	for _, v := range st.mem {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	for _, pb := range st.binds {
+		for _, v := range pb {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+	}
+	return string(b)
+}
+
+// bound reports whether read-binding index r of processor p has performed.
+func (o *Oracle) bound(st *oracleState, p, r int) bool {
+	for i, op := range o.procs[p] {
+		if op.read == r {
+			return st.mask[p]&(1<<i) != 0
+		}
+	}
+	return false
+}
+
+func (o *Oracle) resolve(st *oracleState, p int, d isa.DataRef) int64 {
+	if d.IsConst() {
+		return d.Const
+	}
+	return st.binds[p][d.FromLoad]
+}
+
+// enabled reports whether op i of processor p may perform in state st, and
+// if it is a read that must forward, the index of the source store.
+func (o *Oracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
+	ops := o.procs[p]
+	cur := ops[i]
+	mask := st.mask[p]
+	fwd = -1
+	// Figure 1 delay arcs against every older outstanding access.
+	for j := 0; j < i; j++ {
+		if mask&(1<<j) != 0 {
+			continue
+		}
+		if core.Blocks(o.model, ops[j].class, cur.class) {
+			return false, -1
+		}
+	}
+	if cur.class.IsWrite() {
+		for j := 0; j < i; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			if ops[j].class.IsRead() {
+				return false, -1 // precise retirement: writes wait for older reads
+			}
+			if ops[j].addr == cur.addr {
+				return false, -1 // FIFO store buffer: same-address writes in order
+			}
+		}
+		if !cur.data.IsConst() && !o.bound(st, p, cur.data.FromLoad) {
+			return false, -1 // store data not yet available
+		}
+		return true, -1
+	}
+	// Plain or acquire read: check the store buffer for forwarding.
+	for j := i - 1; j >= 0; j-- {
+		if mask&(1<<j) != 0 || ops[j].addr != cur.addr || !ops[j].class.IsWrite() {
+			continue
+		}
+		if ops[j].op == isa.OpRMW {
+			return false, -1 // atomics never forward
+		}
+		if !ops[j].data.IsConst() && !o.bound(st, p, ops[j].data.FromLoad) {
+			return false, -1 // forwarding source's data not yet available
+		}
+		return true, j
+	}
+	return true, -1
+}
+
+// perform applies op i of processor p to a copy of st and returns it.
+func (o *Oracle) perform(st *oracleState, p, i, fwd int) *oracleState {
+	ns := st.clone()
+	op := o.procs[p][i]
+	switch {
+	case op.op == isa.OpRMW:
+		old := ns.mem[op.addr]
+		ns.mem[op.addr] = op.rmw.Apply(old, o.resolve(ns, p, op.data))
+		ns.binds[p][op.read] = old
+	case op.class.IsWrite():
+		ns.mem[op.addr] = o.resolve(ns, p, op.data)
+	case fwd >= 0:
+		ns.binds[p][op.read] = o.resolve(ns, p, o.procs[p][fwd].data)
+	default:
+		ns.binds[p][op.read] = ns.mem[op.addr]
+	}
+	ns.mask[p] |= 1 << i
+	return ns
+}
+
+// Outcomes runs the exhaustive search and returns every outcome the model
+// allows.
+func (o *Oracle) Outcomes() (OutcomeSet, error) {
+	o.memo = make(map[string]struct{})
+	o.out = make(OutcomeSet)
+	st := &oracleState{
+		mask:  make([]uint32, len(o.procs)),
+		mem:   make([]int64, o.naddr),
+		binds: make([][]int64, len(o.procs)),
+	}
+	for p := range st.binds {
+		st.binds[p] = make([]int64, o.nreads[p])
+	}
+	if err := o.search(st); err != nil {
+		return nil, err
+	}
+	return o.out, nil
+}
+
+func (o *Oracle) search(st *oracleState) error {
+	k := st.key()
+	if _, seen := o.memo[k]; seen {
+		return nil
+	}
+	if len(o.memo) >= maxOracleStates {
+		return fmt.Errorf("conformance: oracle state space exceeds %d states", maxOracleStates)
+	}
+	o.memo[k] = struct{}{}
+	done := true
+	for p := range o.procs {
+		for i := range o.procs[p] {
+			if st.mask[p]&(1<<i) != 0 {
+				continue
+			}
+			done = false
+			ok, fwd := o.enabled(st, p, i)
+			if !ok {
+				continue
+			}
+			if err := o.search(o.perform(st, p, i, fwd)); err != nil {
+				return err
+			}
+		}
+	}
+	if done {
+		o.out[outcomeString(st.binds, st.mem)] = struct{}{}
+	}
+	return nil
+}
+
+// outcomeString renders an outcome canonically: each processor's read
+// bindings in program order, then the final shared-memory image. The
+// driver renders the simulator's observed outcome with the same function,
+// so set membership is plain string equality.
+func outcomeString(binds [][]int64, mem []int64) string {
+	var b strings.Builder
+	for p, pb := range binds {
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "P%d:%v", p, pb)
+	}
+	fmt.Fprintf(&b, " mem:%v", mem)
+	return b.String()
+}
+
+// ModelOutcomes is the one-call convenience wrapper: extract, search,
+// return the outcome set for model m.
+func ModelOutcomes(progs []*isa.Program, shared []uint64, m core.Model) (OutcomeSet, error) {
+	o, err := NewOracle(progs, shared, m)
+	if err != nil {
+		return nil, err
+	}
+	return o.Outcomes()
+}

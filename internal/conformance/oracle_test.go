@@ -1,0 +1,154 @@
+package conformance
+
+import (
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+)
+
+// oracleFor builds the oracle outcome set for an abstract program under m,
+// going through the real Build/MemOps extraction path.
+func oracleFor(t *testing.T, p Program, m core.Model) OutcomeSet {
+	t.Helper()
+	set, err := ModelOutcomes(p.Build(), p.SharedAddrs(), m)
+	if err != nil {
+		t.Fatalf("oracle(%v): %v", m, err)
+	}
+	return set
+}
+
+func out(binds [][]int64, mem []int64) string { return outcomeString(binds, mem) }
+
+// TestOracleStoreBuffering pins the canonical SB litmus: the both-read-zero
+// outcome is forbidden under SC, allowed once reads may bypass writes (PC
+// and weaker), and SC allows exactly the three interleaving outcomes.
+func TestOracleStoreBuffering(t *testing.T) {
+	sb := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KLoad, Addr: 1}},
+		{{Kind: KStore, Addr: 1, Val: 3}, {Kind: KLoad, Addr: 0}},
+	}}
+	relaxed := out([][]int64{{0}, {0}}, []int64{2, 3})
+
+	sc := oracleFor(t, sb, core.SC)
+	if sc.Has(relaxed) {
+		t.Errorf("SC allows the store-buffering outcome %q", relaxed)
+	}
+	if len(sc) != 3 {
+		t.Errorf("SC outcome count = %d, want 3: %v", len(sc), sc.Sorted())
+	}
+	for _, w := range []string{
+		out([][]int64{{0}, {2}}, []int64{2, 3}),
+		out([][]int64{{3}, {0}}, []int64{2, 3}),
+		out([][]int64{{3}, {2}}, []int64{2, 3}),
+	} {
+		if !sc.Has(w) {
+			t.Errorf("SC is missing interleaving outcome %q", w)
+		}
+	}
+	for _, m := range []core.Model{core.PC, core.WC, core.RCsc, core.RC} {
+		set := oracleFor(t, sb, m)
+		if !set.Has(relaxed) {
+			t.Errorf("%v forbids the store-buffering outcome", m)
+		}
+		if !sc.Subset(set) {
+			t.Errorf("SC set is not a subset of %v set", m)
+		}
+	}
+}
+
+// TestOracleMessagePassing pins MP: stale-data-after-flag is forbidden by
+// SC always, forbidden by RC only when the flag is release/acquire synced.
+func TestOracleMessagePassing(t *testing.T) {
+	stale := func(p Program) string {
+		// P1 saw the flag (3) but read stale data (0).
+		return out([][]int64{{}, {3, 0}}, []int64{2, 3})
+	}
+	plain := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KStore, Addr: 1, Val: 3}},
+		{{Kind: KLoad, Addr: 1}, {Kind: KLoad, Addr: 0}},
+	}}
+	synced := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KRelease, Addr: 1, Val: 3}},
+		{{Kind: KAcquire, Addr: 1}, {Kind: KLoad, Addr: 0}},
+	}}
+	if set := oracleFor(t, plain, core.SC); set.Has(stale(plain)) {
+		t.Error("SC allows stale message passing")
+	}
+	if set := oracleFor(t, plain, core.RC); !set.Has(stale(plain)) {
+		t.Error("RC forbids stale message passing without synchronization")
+	}
+	for _, m := range core.AllModels {
+		if set := oracleFor(t, synced, m); set.Has(stale(synced)) {
+			t.Errorf("%v allows stale message passing across release/acquire", m)
+		}
+	}
+}
+
+// TestOracleLoadBuffering pins LB: since the machine never speculates
+// stores (writes wait for all older reads), the both-read-new outcome is
+// forbidden under every model.
+func TestOracleLoadBuffering(t *testing.T) {
+	lb := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KLoad, Addr: 0}, {Kind: KStore, Addr: 1, Val: 2}},
+		{{Kind: KLoad, Addr: 1}, {Kind: KStore, Addr: 0, Val: 3}},
+	}}
+	bad := out([][]int64{{3}, {2}}, []int64{3, 2})
+	for _, m := range core.AllModels {
+		if set := oracleFor(t, lb, m); set.Has(bad) {
+			t.Errorf("%v allows the load-buffering outcome", m)
+		}
+	}
+}
+
+// TestOracleForwarding pins read-own-write-early: each processor reads its
+// own buffered store before the store performs globally. PC exhibits it
+// (store-buffer forwarding); SC must not.
+func TestOracleForwarding(t *testing.T) {
+	p := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KLoad, Addr: 0}, {Kind: KLoad, Addr: 1}},
+		{{Kind: KStore, Addr: 1, Val: 3}, {Kind: KLoad, Addr: 1}, {Kind: KLoad, Addr: 0}},
+	}}
+	fwd := out([][]int64{{2, 0}, {3, 0}}, []int64{2, 3})
+	if set := oracleFor(t, p, core.SC); set.Has(fwd) {
+		t.Error("SC allows the forwarding outcome")
+	}
+	if set := oracleFor(t, p, core.PC); !set.Has(fwd) {
+		t.Error("PC forbids read-own-write-early; forwarding rule is broken")
+	}
+}
+
+// TestOracleRMWAtomicity: two test-and-sets on one word can never both
+// observe zero, under any model.
+func TestOracleRMWAtomicity(t *testing.T) {
+	p := Program{NAddr: 1, Ops: [][]Op{
+		{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}},
+		{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}},
+	}}
+	bothZero := out([][]int64{{0}, {0}}, []int64{1})
+	for _, m := range core.AllModels {
+		set := oracleFor(t, p, m)
+		if set.Has(bothZero) {
+			t.Errorf("%v allows both test-and-sets to win", m)
+		}
+		if len(set) != 2 {
+			t.Errorf("%v outcome count = %d, want 2: %v", m, len(set), set.Sorted())
+		}
+	}
+}
+
+// TestOracleAtomicsDoNotForward: a load after a pending RMW to the same
+// address must wait for the RMW rather than forward, so the load always
+// observes the RMW's result, never a stale pre-RMW value.
+func TestOracleAtomicsDoNotForward(t *testing.T) {
+	p := Program{NAddr: 1, Ops: [][]Op{
+		{{Kind: KRMW, Addr: 0, Val: 5, RMW: isa.RMWFetchAdd}, {Kind: KLoad, Addr: 0}},
+	}}
+	for _, m := range core.AllModels {
+		set := oracleFor(t, p, m)
+		want := out([][]int64{{0, 5}}, []int64{5})
+		if len(set) != 1 || !set.Has(want) {
+			t.Errorf("%v = %v, want exactly %q", m, set.Sorted(), want)
+		}
+	}
+}

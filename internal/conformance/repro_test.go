@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"testing"
+
+	"mcmsim/internal/isa"
+)
+
+// TestReproDeferredInvSuperseded is the minimized reproducer the conformance
+// fuzzer found at generator seed 62 (PR 3). P1 speculatively acquires A1
+// exclusively for its RMW, the line is recalled away before the atomic
+// issues, and P0's invalidation then arrives while the atomic's refill is
+// pending. The refill's grant version superseded the deferred invalidation,
+// and the cache dropped it without notifying the client — so the
+// speculative-load buffer never squashed the stale speculated value and the
+// LSU panicked on the value mismatch ("RMW speculation mismatch without
+// coherence event") under the relaxed models with speculative loads enabled.
+// The fix delivers superseded deferred events as pure notifications before
+// fill waiters complete.
+func TestReproDeferredInvSuperseded(t *testing.T) {
+	p := Program{NAddr: 3, Ops: [][]Op{
+		{{Kind: KLoad, Addr: 0}, {Kind: KStore, Addr: 1, Val: 2}},
+		{{Kind: KRMW, Addr: 0, Val: 3, RMW: isa.RMWFetchAdd}, {Kind: KRMW, Addr: 1, Val: 4, RMW: isa.RMWTestAndSet}},
+		{{Kind: KLoad, Addr: 2}, {Kind: KLoad, Addr: 1}},
+	}}
+	_, viols := CheckProgram(p, CheckOptions{})
+	for _, v := range viols {
+		t.Errorf("%v", v)
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "mcmsim/internal/isa"
+
+// Exported views of the consistency predicates for reference interpreters
+// (the conformance tier's oracle). The oracle must enable accesses under
+// exactly the delay arcs the LSU enforces, so it consumes these instead of
+// duplicating Figure 1.
+
+// Blocks reports whether an incomplete older access of class older forces
+// an access of class cur to be delayed under model m (Figure 1's delay
+// arcs; the predicate behind conventional issue).
+func Blocks(m Model, older, cur AccessClass) bool {
+	return blocksIssue(m, older, cur)
+}
+
+// ClassOfOp maps a memory opcode to its access class.
+func ClassOfOp(op isa.Op) AccessClass {
+	return classOf(isa.Instruction{Op: op})
+}
+
+// IsRead reports whether the class binds a register value from memory.
+func (c AccessClass) IsRead() bool { return c.isRead() }
+
+// IsWrite reports whether the class modifies memory.
+func (c AccessClass) IsWrite() bool { return c.isWrite() }
+
+// IsSync reports whether the class is a synchronization access.
+func (c AccessClass) IsSync() bool { return c.isSync() }

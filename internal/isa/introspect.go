@@ -1,0 +1,210 @@
+package isa
+
+// Program introspection for reference interpreters (the conformance tier's
+// SC oracle): a straight-line program's memory behaviour is recovered as a
+// sequence of MemOps with concrete addresses and symbolic data values, by
+// abstract execution over the register file.
+//
+// The extraction is deliberately conservative. It supports exactly the
+// program shapes the litmus battery and the conformance generator emit:
+// no branches or jumps, ALU results that are either compile-time constants
+// or the unmodified value of one earlier load, and effective addresses that
+// are constants. Anything else makes MemOps report ok == false, never a
+// wrong answer.
+
+// DataConst and DataLoad discriminate a DataRef.
+const (
+	// DataConst marks a DataRef whose value is a compile-time constant.
+	DataConst = -1
+)
+
+// DataRef is a symbolic data value: either a constant or the value bound by
+// the n-th register-writing memory read (load, acquire load, or RMW old
+// value) of the same program, counted from zero in program order.
+type DataRef struct {
+	// FromLoad is the read index the value came from, or DataConst.
+	FromLoad int
+	// Const is the constant value when FromLoad == DataConst.
+	Const int64
+}
+
+// IsConst reports whether the reference is a compile-time constant.
+func (d DataRef) IsConst() bool { return d.FromLoad == DataConst }
+
+// MemOp is one memory operation of a straight-line program with its
+// effective address resolved and its store data expressed symbolically.
+type MemOp struct {
+	// Op is the memory opcode (OpLoad, OpStore, OpAcquire, OpRelease,
+	// OpRMW, OpPrefetch, OpPrefetchEx).
+	Op Op
+	// Addr is the concrete effective address.
+	Addr uint64
+	// Data is the store data (stores, releases) or the RMW source operand.
+	// Meaningless for loads and prefetches.
+	Data DataRef
+	// RMW is the atomic flavour when Op == OpRMW.
+	RMW RMWKind
+	// ReadIdx numbers the register-writing reads (loads, acquire loads,
+	// RMWs) of the program in program order; -1 for every other op. It is
+	// the index DataRef.FromLoad refers to.
+	ReadIdx int
+	// PC is the instruction index the op was decoded from.
+	PC int
+}
+
+// IsRead reports whether the op binds a register value from memory.
+func (m MemOp) IsRead() bool { return m.Op == OpLoad || m.Op == OpAcquire || m.Op == OpRMW }
+
+// IsWrite reports whether the op modifies memory.
+func (m MemOp) IsWrite() bool { return m.Op == OpStore || m.Op == OpRelease || m.Op == OpRMW }
+
+// absVal is the abstract value of a register during extraction: a constant,
+// the value of read #load, or unknown.
+type absVal struct {
+	known bool
+	load  int // DataConst for constants
+	c     int64
+}
+
+// MemOps symbolically executes a straight-line program and returns its
+// memory operations in program order. ok is false when the program is not
+// straight-line (contains a branch or jump), when an effective address
+// depends on a loaded or unknown value, or when store data is neither a
+// constant nor exactly the value of one earlier load.
+func (p *Program) MemOps() (ops []MemOp, ok bool) {
+	var regs [NumRegs]absVal
+	regs[R0] = absVal{known: true, load: DataConst}
+	reads := 0
+
+	read := func(r Reg) absVal { return regs[r] }
+	write := func(r Reg, v absVal) {
+		if r != R0 {
+			regs[r] = v
+		}
+	}
+	// dataRef converts an abstract value to a DataRef, failing on unknowns.
+	dataRef := func(v absVal) (DataRef, bool) {
+		if !v.known {
+			return DataRef{}, false
+		}
+		return DataRef{FromLoad: v.load, Const: v.c}, true
+	}
+
+	for pc, in := range p.Instrs {
+		switch in.Op {
+		case OpNop:
+		case OpHalt:
+			// Anything after a halt is unreachable; accept and stop.
+			return ops, true
+		case OpLoad, OpAcquire:
+			base := read(in.Base)
+			if !base.known || base.load != DataConst {
+				return nil, false
+			}
+			ops = append(ops, MemOp{
+				Op: in.Op, Addr: uint64(base.c + in.Imm),
+				Data: DataRef{FromLoad: DataConst}, ReadIdx: reads, PC: pc,
+			})
+			write(in.Dst, absVal{known: true, load: reads})
+			reads++
+		case OpStore, OpRelease:
+			base := read(in.Base)
+			if !base.known || base.load != DataConst {
+				return nil, false
+			}
+			data, dok := dataRef(read(in.Src))
+			if !dok {
+				return nil, false
+			}
+			ops = append(ops, MemOp{
+				Op: in.Op, Addr: uint64(base.c + in.Imm),
+				Data: data, ReadIdx: -1, PC: pc,
+			})
+		case OpRMW:
+			base := read(in.Base)
+			if !base.known || base.load != DataConst {
+				return nil, false
+			}
+			data, dok := dataRef(read(in.Src))
+			if !dok {
+				return nil, false
+			}
+			ops = append(ops, MemOp{
+				Op: in.Op, Addr: uint64(base.c + in.Imm),
+				Data: data, RMW: in.RMW, ReadIdx: reads, PC: pc,
+			})
+			write(in.Dst, absVal{known: true, load: reads})
+			reads++
+		case OpPrefetch, OpPrefetchEx:
+			base := read(in.Base)
+			if !base.known || base.load != DataConst {
+				return nil, false
+			}
+			ops = append(ops, MemOp{
+				Op: in.Op, Addr: uint64(base.c + in.Imm),
+				Data: DataRef{FromLoad: DataConst}, ReadIdx: -1, PC: pc,
+			})
+		case OpAddI:
+			// The only ALU form the extractor tracks exactly: constant
+			// arithmetic, or a no-op move of a load's value (imm == 0).
+			src := read(in.Src)
+			switch {
+			case src.known && src.load == DataConst:
+				write(in.Dst, absVal{known: true, load: DataConst, c: src.c + in.Imm})
+			case src.known && in.Imm == 0:
+				write(in.Dst, src)
+			default:
+				write(in.Dst, absVal{})
+			}
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSlt:
+			a, b := read(in.Src), read(in.Src2)
+			if a.known && a.load == DataConst && b.known && b.load == DataConst {
+				write(in.Dst, absVal{known: true, load: DataConst,
+					c: constALU(in.Op, a.c, b.c)})
+			} else {
+				write(in.Dst, absVal{})
+			}
+		case OpSltI:
+			a := read(in.Src)
+			if a.known && a.load == DataConst {
+				v := int64(0)
+				if a.c < in.Imm {
+					v = 1
+				}
+				write(in.Dst, absVal{known: true, load: DataConst, c: v})
+			} else {
+				write(in.Dst, absVal{})
+			}
+		case OpBeqz, OpBnez, OpJmp:
+			return nil, false // not straight-line
+		default:
+			return nil, false
+		}
+	}
+	return ops, true
+}
+
+// constALU evaluates a two-source ALU op over constants.
+func constALU(op Op, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,117 @@
+package isa
+
+import "testing"
+
+func TestMemOpsStraightLine(t *testing.T) {
+	b := NewBuilder()
+	b.Li(R1, 7)
+	b.StoreAbs(R1, 0x100)                 // op 0: st 0x100 = 7
+	b.LoadAbs(R2, 0x200)                  // op 1: read 0 = ld 0x200
+	b.StoreAbs(R2, 0x300)                 // op 2: st 0x300 = read 0
+	b.AcquireLoadAbs(R3, 0x100)           // op 3: read 1
+	b.RMW(RMWFetchAdd, R4, R1, R0, 0x200) // op 4: read 2, src const 7
+	b.ReleaseStoreAbs(R4, 0x400)          // op 5: st.rel 0x400 = read 2
+	b.PrefetchAbs(0x500)                  // op 6
+	b.Halt()
+	ops, ok := b.Build().MemOps()
+	if !ok {
+		t.Fatal("MemOps failed on a straight-line program")
+	}
+	if len(ops) != 7 {
+		t.Fatalf("got %d ops, want 7", len(ops))
+	}
+	want := []struct {
+		op      Op
+		addr    uint64
+		from    int
+		c       int64
+		readIdx int
+	}{
+		{OpStore, 0x100, DataConst, 7, -1},
+		{OpLoad, 0x200, DataConst, 0, 0},
+		{OpStore, 0x300, 0, 0, -1},
+		{OpAcquire, 0x100, DataConst, 0, 1},
+		{OpRMW, 0x200, DataConst, 7, 2},
+		{OpRelease, 0x400, 2, 0, -1},
+		{OpPrefetch, 0x500, DataConst, 0, -1},
+	}
+	for i, w := range want {
+		g := ops[i]
+		if g.Op != w.op || g.Addr != w.addr || g.ReadIdx != w.readIdx {
+			t.Errorf("op %d = {%v %#x readIdx=%d}, want {%v %#x readIdx=%d}",
+				i, g.Op, g.Addr, g.ReadIdx, w.op, w.addr, w.readIdx)
+		}
+		if g.Op == OpStore || g.Op == OpRelease || g.Op == OpRMW {
+			if g.Data.FromLoad != w.from {
+				t.Errorf("op %d data FromLoad = %d, want %d", i, g.Data.FromLoad, w.from)
+			}
+			if w.from == DataConst && g.Data.Const != w.c {
+				t.Errorf("op %d data Const = %d, want %d", i, g.Data.Const, w.c)
+			}
+		}
+	}
+}
+
+func TestMemOpsRejectsBranches(t *testing.T) {
+	b := NewBuilder()
+	lbl := b.FreshLabel("spin")
+	b.Label(lbl)
+	b.LoadAbs(R1, 0x100)
+	b.Beqz(R1, lbl)
+	b.Halt()
+	if _, ok := b.Build().MemOps(); ok {
+		t.Fatal("MemOps accepted a program with a branch")
+	}
+}
+
+func TestMemOpsRejectsLoadedAddress(t *testing.T) {
+	b := NewBuilder()
+	b.LoadAbs(R1, 0x100)
+	b.Load(R2, R1, 0) // address depends on a loaded value
+	b.Halt()
+	if _, ok := b.Build().MemOps(); ok {
+		t.Fatal("MemOps accepted a load-dependent effective address")
+	}
+}
+
+func TestMemOpsRejectsDerivedStoreData(t *testing.T) {
+	b := NewBuilder()
+	b.LoadAbs(R1, 0x100)
+	b.AddI(R2, R1, 5) // load value plus a constant: not representable
+	b.StoreAbs(R2, 0x200)
+	b.Halt()
+	if _, ok := b.Build().MemOps(); ok {
+		t.Fatal("MemOps accepted store data derived from a load")
+	}
+}
+
+func TestMemOpsConstantALU(t *testing.T) {
+	b := NewBuilder()
+	b.Li(R1, 6)
+	b.Li(R2, 7)
+	b.Mul(R3, R1, R2)
+	b.StoreAbs(R3, 0x100)
+	b.Halt()
+	ops, ok := b.Build().MemOps()
+	if !ok || len(ops) != 1 {
+		t.Fatalf("ops=%v ok=%v", ops, ok)
+	}
+	if !ops[0].Data.IsConst() || ops[0].Data.Const != 42 {
+		t.Fatalf("store data = %+v, want const 42", ops[0].Data)
+	}
+}
+
+func TestMemOpsMoveOfLoad(t *testing.T) {
+	b := NewBuilder()
+	b.LoadAbs(R1, 0x100)
+	b.AddI(R2, R1, 0) // move preserves the load reference
+	b.StoreAbs(R2, 0x200)
+	b.Halt()
+	ops, ok := b.Build().MemOps()
+	if !ok || len(ops) != 2 {
+		t.Fatalf("ops=%v ok=%v", ops, ok)
+	}
+	if ops[1].Data.FromLoad != 0 {
+		t.Fatalf("store data = %+v, want FromLoad 0", ops[1].Data)
+	}
+}
