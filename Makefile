@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmtcheck build test race differential conform cover fuzz bench sweep fmt
+.PHONY: check vet fmtcheck build test race differential conform cover fuzz bench benchdiff sweep fmt
 
 check: vet fmtcheck build test race differential conform
 	@echo "check: OK"
@@ -32,12 +32,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The fast-forward differential tier: the idle-cycle scheduler must be
-# observationally identical to stepping every cycle — across the model x
-# technique grid, the full experiment suite in every output format, and
-# the Figure 5 cycle-level trace.
+# The differential tier: the idle-cycle fast-forward scheduler and the
+# conservative parallel engine must both be observationally identical to
+# stepping every cycle sequentially — across the model x technique grid,
+# shard-worker counts {2,4,8}, the full experiment suite in every output
+# format, a conformance batch, and the Figure 5 cycle-level trace.
 differential:
-	$(GO) test -run 'TestFastForward' ./internal/sim ./internal/experiments
+	$(GO) test -run 'TestFastForward|TestParallelEngine' ./internal/sim ./internal/experiments ./internal/parsim
 
 # The conformance tier: a smoke batch of generated litmus programs checked
 # against the exhaustive SC oracle across the model x technique x timing
@@ -59,7 +60,14 @@ fuzz:
 # archiving the results (ns/op, allocs/op, simulated cycles/sec) as
 # machine-readable JSON in BENCH_sim.json.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Re-run the benchmark suite and diff it against the committed
+# BENCH_sim.json baseline: any benchmark whose ns/op or allocs/op grew by
+# more than 15% fails (cmd/benchjson -compare). The fresh results go to a
+# scratch file so the baseline only changes via an explicit `make bench`.
+benchdiff:
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim | $(GO) run ./cmd/benchjson -out /tmp/BENCH_sim.new.json -compare BENCH_sim.json
 
 # The full evaluation suite on all CPUs.
 sweep:

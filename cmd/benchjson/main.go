@@ -13,6 +13,15 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_sim.json
+//
+// With -compare OLD.json the freshly parsed results are additionally
+// checked against an archived baseline: any benchmark present in both
+// whose ns/op or allocs/op grew by more than -tolerance (default 15%)
+// is reported as a regression and the exit status is 1. Benchmarks that
+// only exist on one side are listed but never fail the run, so adding or
+// retiring a benchmark does not break the gate.
+//
+//	go test -bench=. -benchmem ./... | benchjson -out new.json -compare BENCH_sim.json
 package main
 
 import (
@@ -36,6 +45,8 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON file")
+	compareWith := flag.String("compare", "", "baseline JSON file to diff against; regressions beyond -tolerance exit 1")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional growth in ns/op and allocs/op before -compare fails")
 	flag.Parse()
 
 	var results []Result
@@ -66,6 +77,89 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+
+	if *compareWith != "" {
+		baseline, err := readResults(*compareWith)
+		if err != nil {
+			fatal(err)
+		}
+		report := compare(baseline, results, *tolerance)
+		for _, line := range report.Notes {
+			fmt.Fprintf(os.Stderr, "benchjson: %s\n", line)
+		}
+		for _, line := range report.Regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", line)
+		}
+		if len(report.Regressions) > 0 {
+			fatal(fmt.Errorf("%d benchmark regression(s) vs %s (tolerance %.0f%%)",
+				len(report.Regressions), *compareWith, *tolerance*100))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s (%d benchmarks compared, tolerance %.0f%%)\n",
+			*compareWith, report.Compared, *tolerance*100)
+	}
+}
+
+// readResults loads an archived benchjson file.
+func readResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// compareReport is the outcome of diffing a run against a baseline:
+// regressions fail the gate, notes (added/removed benchmarks) do not.
+type compareReport struct {
+	Compared    int
+	Regressions []string
+	Notes       []string
+}
+
+// compare diffs new results against a baseline. A benchmark regresses when
+// a gated metric grows beyond the fractional tolerance: ns/op (wall time)
+// and allocs/op (allocation count — machine-independent, so any growth
+// beyond rounding is a real hot-path change). Improvements and metrics
+// missing from either side are ignored; benchmarks present on only one
+// side are noted but never fail.
+func compare(baseline, current []Result, tol float64) compareReport {
+	old := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		old[r.Name] = r
+	}
+	var rep compareReport
+	seen := make(map[string]bool, len(current))
+	for _, r := range current {
+		seen[r.Name] = true
+		b, ok := old[r.Name]
+		if !ok {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("new benchmark %s (no baseline)", r.Name))
+			continue
+		}
+		rep.Compared++
+		for _, unit := range []string{"ns/op", "allocs/op"} {
+			was, okOld := b.Metrics[unit]
+			now, okNew := r.Metrics[unit]
+			if !okOld || !okNew || was <= 0 {
+				continue
+			}
+			if now > was*(1+tol) {
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"%s %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
+					r.Name, unit, was, now, (now/was-1)*100, tol*100))
+			}
+		}
+	}
+	for _, r := range baseline {
+		if !seen[r.Name] {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("benchmark %s missing from this run", r.Name))
+		}
+	}
+	return rep
 }
 
 // parseBenchLine parses one `go test -bench` result line. The format is

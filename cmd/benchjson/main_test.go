@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkStepDense-8   \t      12\t  98765432 ns/op\t  1024 B/op\t  7 allocs/op\t  1234567 simcycles/s")
@@ -29,5 +32,51 @@ func TestParseBenchLineRejectsNonBench(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("accepted non-benchmark line %q", line)
 		}
+	}
+}
+
+func bench(name string, ns, allocs float64) Result {
+	return Result{Name: name, Runs: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := []Result{
+		bench("BenchmarkA-8", 1000, 10),
+		bench("BenchmarkB-8", 2000, 0),
+		bench("BenchmarkGone-8", 500, 1),
+	}
+	current := []Result{
+		bench("BenchmarkA-8", 1300, 10), // +30% ns/op: regression
+		bench("BenchmarkB-8", 2100, 3),  // +5% ns/op within tolerance; allocs grew from 0 (skipped: was<=0)
+		bench("BenchmarkNew-8", 42, 0),  // no baseline: note only
+	}
+	rep := compare(baseline, current, 0.15)
+	if rep.Compared != 2 {
+		t.Errorf("Compared = %d, want 2", rep.Compared)
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "BenchmarkA-8 ns/op") {
+		t.Errorf("Regressions = %q, want one BenchmarkA-8 ns/op entry", rep.Regressions)
+	}
+	joined := strings.Join(rep.Notes, "\n")
+	if !strings.Contains(joined, "BenchmarkNew-8") || !strings.Contains(joined, "BenchmarkGone-8") {
+		t.Errorf("Notes = %q, want added and removed benchmarks mentioned", rep.Notes)
+	}
+}
+
+func TestCompareAllocGrowthFails(t *testing.T) {
+	baseline := []Result{bench("BenchmarkHot-8", 1000, 4)}
+	current := []Result{bench("BenchmarkHot-8", 900, 6)} // faster, but +50% allocs
+	rep := compare(baseline, current, 0.15)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "allocs/op") {
+		t.Errorf("Regressions = %q, want one allocs/op entry", rep.Regressions)
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	baseline := []Result{bench("BenchmarkA-8", 1000, 10)}
+	current := []Result{bench("BenchmarkA-8", 1100, 10)} // +10% within tolerance
+	rep := compare(baseline, current, 0.15)
+	if len(rep.Regressions) != 0 || len(rep.Notes) != 0 || rep.Compared != 1 {
+		t.Errorf("want clean pass, got %+v", rep)
 	}
 }

@@ -17,6 +17,7 @@
 //	-procs N  processors per program (0 = random 2-3)
 //	-ops N    max ops per processor (0 = default 5)
 //	-j N      worker-pool size (<=0 means all CPUs)
+//	-par N    shard each simulation across up to N goroutines
 //	-quick    paper timing only (the fuzz target's reduced grid)
 //	-quiet    suppress the progress line on stderr
 //
@@ -33,6 +34,8 @@ import (
 	"time"
 
 	"mcmsim/internal/conformance"
+	"mcmsim/internal/parsim"
+	"mcmsim/internal/sim"
 )
 
 func main() {
@@ -42,10 +45,22 @@ func main() {
 		procs = flag.Int("procs", 0, "processors per program (0 = random 2-3)")
 		ops   = flag.Int("ops", 0, "max operations per processor (0 = default)")
 		jobs  = flag.Int("j", runtime.NumCPU(), "worker-pool size (<=0 means all CPUs)")
+		par   = flag.Int("par", 1, "shard each simulation across up to N goroutines (verdicts are identical for every N)")
 		quick = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
 		quiet = flag.Bool("quiet", false, "suppress progress on stderr")
 	)
 	flag.Parse()
+	sim.ParWorkers = *par
+	if *par > 1 {
+		// Batch workers and shard workers share the machine; the shard pool
+		// gets whatever the batch pool leaves free (conformance programs are
+		// tiny, so -par mainly exists for the differential gate).
+		extra := runtime.NumCPU() - *jobs
+		if *jobs <= 0 || *jobs > runtime.NumCPU() {
+			extra = 0
+		}
+		parsim.SetWorkerBudget(extra)
+	}
 
 	params := conformance.Params{Procs: *procs, ProcOps: *ops}
 	opts := conformance.CheckOptions{Quick: *quick}

@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mcmsim/internal/coherence"
 	"mcmsim/internal/core"
 	"mcmsim/internal/isa"
+	"mcmsim/internal/parsim"
 	"mcmsim/internal/sim"
 	"mcmsim/internal/workload"
 )
@@ -43,12 +45,24 @@ func main() {
 		showStats = flag.Bool("stats", false, "print component statistics after the run")
 		disasm    = flag.Bool("disasm", false, "print the program(s) before running")
 		dense     = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
+		par       = flag.Int("par", 1, "shard the simulation across up to N goroutines (node-level conservative parallelism; results are byte-identical for every N)")
+		schedWant = flag.Bool("schedstats", false, "print the parallel scheduler's per-shard counters after the run (requires -par > 1)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	sim.ForceDense = *dense
+	sim.ParWorkers = *par
+	if *par > 1 {
+		// The engine's worker pool takes the caller's goroutine plus extras
+		// from this budget; honor an explicit -par above the core count.
+		n := runtime.NumCPU()
+		if *par > n {
+			n = *par
+		}
+		parsim.SetWorkerBudget(n - 1)
+	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
@@ -121,6 +135,14 @@ func main() {
 	if *showStats {
 		fmt.Println()
 		fmt.Print(s.StatsReport())
+	}
+	if *schedWant {
+		fmt.Println()
+		if s.ParReport == "" {
+			fmt.Println("parsim: sequential run (use -par N with N > 1; zero-latency networks and traced runs always fall back)")
+		} else {
+			fmt.Print(s.ParReport)
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"mcmsim/internal/experiments"
+	"mcmsim/internal/parsim"
 	"mcmsim/internal/runner"
 	"mcmsim/internal/sim"
 )
@@ -57,11 +58,21 @@ func main() {
 		out     = flag.String("out", "", "write the report to this file instead of stdout")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		dense   = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
+		par     = flag.Int("par", 1, "shard each simulation across up to N goroutines (output stays byte-identical for every N)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	sim.ForceDense = *dense
+	sim.ParWorkers = *par
+	if *par > 1 {
+		// Shard workers and job workers share one machine: give the shard
+		// engines only the cores the job pool is not already claiming, so
+		// `-j 8 -par 8` degrades to per-simulation sequential runs instead
+		// of oversubscribing 64 goroutines. Each running job contributes its
+		// own goroutine on top of this extra-worker budget.
+		parsim.SetWorkerBudget(runtime.NumCPU() - effectiveWorkers(*jobs, runtime.NumCPU()))
+	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)

@@ -237,7 +237,7 @@ type Cache struct {
 	// homes, when non-nil, interleaves lines across several home nodes
 	// (distributed memory); DirID is the fallback single home.
 	homes  []network.NodeID
-	net    *network.Network
+	net    network.Port
 	geom   memsys.Geometry
 	cfg    Config
 	proto  Protocol
@@ -326,6 +326,10 @@ func (c *Cache) SetClient(cl Client) { c.client = cl }
 
 // SetHomes interleaves lines across several home directory nodes.
 func (c *Cache) SetHomes(homes []network.NodeID) { c.homes = homes }
+
+// SetPort rebinds the cache onto a different network port (a shard-private
+// endpoint during a parallel run, the network itself after).
+func (c *Cache) SetPort(p network.Port) { c.net = p }
 
 // homeFor returns the home node for a line.
 func (c *Cache) homeFor(lineAddr uint64) network.NodeID {

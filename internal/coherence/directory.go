@@ -73,7 +73,7 @@ type dirLine struct {
 // across several Directory instances (DASH-style distributed memory).
 type Directory struct {
 	ID       network.NodeID
-	net      *network.Network
+	net      network.Port
 	mem      *memsys.Memory
 	geom     memsys.Geometry
 	memLat   uint64 // service latency for a memory access at the home node
@@ -109,6 +109,10 @@ func New(id network.NodeID, net *network.Network, mem *memsys.Memory, memLat uin
 
 // Protocol returns the active coherence protocol.
 func (d *Directory) Protocol() Protocol { return d.protocol }
+
+// SetPort rebinds the directory onto a different network port (a
+// shard-private endpoint during a parallel run, the network itself after).
+func (d *Directory) SetPort(p network.Port) { d.net = p }
 
 func (d *Directory) line(addr uint64) *dirLine {
 	l, ok := d.lines[addr]

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"mcmsim/internal/parsim"
+	"mcmsim/internal/runner"
+	"mcmsim/internal/sim"
+)
+
+// renderSuitePar renders the full suite with the given shard-parallelism
+// degree (0 = sequential loop).
+func renderSuitePar(t *testing.T, format string, par int) []byte {
+	t.Helper()
+	prev := sim.ParWorkers
+	sim.ParWorkers = par
+	defer func() { sim.ParWorkers = prev }()
+	return renderSuite(t, format)
+}
+
+// TestParallelEngineSuiteByteIdentical is the end-to-end differential gate
+// for the conservative parallel engine: the complete experiment suite
+// (`sweep -exp all`) must render byte-identical reports in every output
+// format whether each simulation runs on the sequential loop or on 2, 4 or
+// 8 shard workers. Together with TestFastForwardSuiteByteIdentical this
+// pins the full -dense × -par matrix the CLIs expose.
+//
+// Not t.Parallel: it toggles the package-wide sim.ParWorkers knob.
+func TestParallelEngineSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential run; skipped in -short mode")
+	}
+	parsim.SetWorkerBudget(8)
+
+	for _, format := range []string{runner.FormatTable, runner.FormatJSON, runner.FormatCSV} {
+		seq := renderSuitePar(t, format, 0)
+		par := renderSuitePar(t, format, 4)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s reports differ between -par 1 and -par 4:\n--- sequential ---\n%s--- parallel ---\n%s", format, seq, par)
+		}
+	}
+	// The remaining worker counts on the cheapest format only: shard windows
+	// are deterministic, so any divergence is count-independent and the
+	// par=4 sweep above would have caught it; this guards the dispatch edges
+	// (fewer workers than shards, more workers than shards).
+	seq := renderSuitePar(t, runner.FormatCSV, 0)
+	for _, par := range []int{2, 8} {
+		got := renderSuitePar(t, runner.FormatCSV, par)
+		if !bytes.Equal(seq, got) {
+			t.Errorf("csv report differs between -par 1 and -par %d", par)
+		}
+	}
+}
+
+// TestParallelEngineFigure5TraceIdentical pins the trace-hook fallback end
+// to end: Figure 5 attaches per-cycle trace hooks, which the parallel
+// engine must decline, transparently producing the identical trace through
+// the sequential loop.
+func TestParallelEngineFigure5TraceIdentical(t *testing.T) {
+	prev := sim.ParWorkers
+	defer func() { sim.ParWorkers = prev }()
+
+	sim.ParWorkers = 0
+	seqRes, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		sim.ParWorkers = par
+		parRes, err := RunFigure5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRes.Cycles != parRes.Cycles {
+			t.Errorf("par=%d halt cycle: seq=%d par=%d", par, seqRes.Cycles, parRes.Cycles)
+		}
+		if s, p := seqRes.Trace.String(), parRes.Trace.String(); s != p {
+			t.Errorf("par=%d traces differ:\n--- sequential ---\n%s--- parallel ---\n%s", par, s, p)
+		}
+	}
+}

@@ -33,40 +33,64 @@ func (g Geometry) Offset(addr uint64) uint64 { return addr & (g.LineWords - 1) }
 func (g Geometry) SameLine(a, b uint64) bool { return g.LineOf(a) == g.LineOf(b) }
 
 // Memory is the flat word-addressed backing store. Untouched words read as
-// zero. Memory is not safe for concurrent use; the simulator is
-// single-goroutine.
+// zero. Storage is split into per-module banks keyed by the same
+// line-interleaving the directory uses to pick a line's home, so each home
+// module touches only its own bank: the parallel engine can then give every
+// directory shard the one Memory while shards write disjoint maps. Memory
+// is still not safe for arbitrary concurrent use — only the per-bank
+// partition is.
 type Memory struct {
 	geom  Geometry
-	words map[uint64]int64
+	banks []map[uint64]int64
 }
 
-// NewMemory creates an empty memory with the given geometry.
-func NewMemory(geom Geometry) *Memory {
-	return &Memory{geom: geom, words: make(map[uint64]int64)}
+// NewMemory creates an empty single-bank memory with the given geometry.
+func NewMemory(geom Geometry) *Memory { return NewBankedMemory(geom, 1) }
+
+// NewBankedMemory creates an empty memory whose storage is interleaved
+// across banks home modules, matching the directory's
+// (line / LineWords) % modules home function.
+func NewBankedMemory(geom Geometry, banks int) *Memory {
+	if banks < 1 {
+		banks = 1
+	}
+	m := &Memory{geom: geom, banks: make([]map[uint64]int64, banks)}
+	for i := range m.banks {
+		m.banks[i] = make(map[uint64]int64)
+	}
+	return m
 }
 
 // Geometry returns the memory's line geometry.
 func (m *Memory) Geometry() Geometry { return m.geom }
 
+// bank returns the storage map owning addr. Every word of a line lands in
+// the same bank because addr/LineWords is constant across the line.
+func (m *Memory) bank(addr uint64) map[uint64]int64 {
+	return m.banks[(addr/m.geom.LineWords)%uint64(len(m.banks))]
+}
+
 // ReadWord returns the value at a word address.
-func (m *Memory) ReadWord(addr uint64) int64 { return m.words[addr] }
+func (m *Memory) ReadWord(addr uint64) int64 { return m.bank(addr)[addr] }
 
 // WriteWord stores a value at a word address.
 func (m *Memory) WriteWord(addr uint64, v int64) {
+	b := m.bank(addr)
 	if v == 0 {
 		// Keep the map sparse: zero is the default.
-		delete(m.words, addr)
+		delete(b, addr)
 		return
 	}
-	m.words[addr] = v
+	b[addr] = v
 }
 
 // ReadLine returns a fresh copy of the line containing addr.
 func (m *Memory) ReadLine(addr uint64) []int64 {
 	base := m.geom.LineOf(addr)
+	b := m.bank(base)
 	line := make([]int64, m.geom.LineWords)
 	for i := uint64(0); i < m.geom.LineWords; i++ {
-		line[i] = m.words[base+i]
+		line[i] = b[base+i]
 	}
 	return line
 }
@@ -86,9 +110,15 @@ func (m *Memory) WriteLine(addr uint64, data []int64) {
 // Snapshot returns a copy of all non-zero words, for end-of-run verification
 // (the property tests compare final memory across configurations).
 func (m *Memory) Snapshot() map[uint64]int64 {
-	out := make(map[uint64]int64, len(m.words))
-	for k, v := range m.words {
-		out[k] = v
+	n := 0
+	for _, b := range m.banks {
+		n += len(b)
+	}
+	out := make(map[uint64]int64, n)
+	for _, b := range m.banks {
+		for k, v := range b {
+			out[k] = v
+		}
 	}
 	return out
 }

@@ -1,0 +1,41 @@
+package network
+
+// Port is the network access point a component (cache, directory, agent)
+// sends through. Two implementations exist:
+//
+//   - *Network itself: the sequential engine's direct path. Messages go
+//     straight into the global delivery heap and receive their arbitration
+//     sequence number at send time.
+//   - *Endpoint: the parallel engine's per-shard outbox. Messages are
+//     buffered locally, stamped with the position the sequential loop would
+//     have sent them at, and merged into the destination inboxes at the next
+//     window barrier (Exchange.Barrier), where they receive sequence numbers
+//     in exactly the order the sequential path would have assigned them.
+//
+// Components hold a Port, not a *Network, so the simulator can rebind them
+// onto a shard-private endpoint for a parallel run and back afterwards
+// without the component noticing. Both implementations provide the same
+// message-pool semantics (Post*/Retain/Recycle).
+type Port interface {
+	// Latency returns the configured one-way latency.
+	Latency() uint64
+	// Send enqueues a caller-owned message for delivery at now + latency.
+	Send(m *Message, now uint64)
+	// SendAfter enqueues for delivery at now + latency + extra.
+	SendAfter(m *Message, now, extra uint64)
+	// SendAt enqueues for delivery at the absolute cycle deliver.
+	SendAt(m *Message, deliver uint64)
+	// Post sends a pooled copy of proto for delivery at now + latency.
+	Post(proto Message, now uint64)
+	// PostAfter is SendAfter for pooled messages.
+	PostAfter(proto Message, now, extra uint64)
+	// PostAt enqueues a pooled copy for delivery at the absolute cycle.
+	PostAt(proto Message, deliver uint64)
+	// Recycle returns a retained pool message to the free list.
+	Recycle(m *Message)
+}
+
+var (
+	_ Port = (*Network)(nil)
+	_ Port = (*Endpoint)(nil)
+)

@@ -1,0 +1,60 @@
+package parsim_test
+
+import (
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/parsim"
+	"mcmsim/internal/sim"
+)
+
+// benchmarkShards runs the largest E2-style row — the 8-processor mixed
+// sharing workload at the sweep's longest miss latency (400 cycles), SC
+// and RC under conventional and combined techniques — with the given shard
+// worker count. par=1 is the sequential fast-forward engine; par>1 routes
+// through the conservative window engine. "simcycles/s" is aggregate
+// simulated throughput; the par=N / par=1 ns/op ratio is the scaling table
+// in EXPERIMENTS.md.
+func benchmarkShards(b *testing.B, par int) {
+	const procs = 8
+	progs := mixProgs(procs, 7)
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, m := range []core.Model{core.SC, core.RC} {
+			for _, tc := range []core.Technique{
+				{},
+				{Prefetch: true, SpecLoad: true, ReissueOpt: true},
+			} {
+				cfg := sim.RealisticConfig().WithMissLatency(400)
+				cfg.Procs = procs
+				cfg.Model = m
+				cfg.Tech = tc
+				s := sim.New(cfg, progs)
+				var cycles uint64
+				var err error
+				if par <= 1 {
+					cycles, err = s.Run()
+				} else {
+					var handled bool
+					cycles, handled, err = parsim.Run(s, par)
+					if !handled {
+						b.Fatal("parallel engine declined the benchmark config")
+					}
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += cycles
+			}
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+func BenchmarkParallelShards1(b *testing.B) { benchmarkShards(b, 1) }
+func BenchmarkParallelShards2(b *testing.B) { benchmarkShards(b, 2) }
+func BenchmarkParallelShards4(b *testing.B) { benchmarkShards(b, 4) }
+func BenchmarkParallelShards8(b *testing.B) { benchmarkShards(b, 8) }

@@ -1,0 +1,39 @@
+package parsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmsim/internal/conformance"
+	"mcmsim/internal/sim"
+)
+
+// TestParallelEngineConformParity runs a conformance batch — generated
+// litmus programs checked across the model × technique × timing grid
+// against the exhaustive SC oracle — with the simulations routed through
+// the parallel engine, and requires the verdict to be identical to the
+// sequential batch down to every counter and violation. This is the
+// `conform` leg of the -par differential: the harness observes outcomes,
+// cycle counts and detector verdicts, so any engine divergence surfaces as
+// a report mismatch (and a real consistency-model bug would too).
+func TestParallelEngineConformParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance batch; skipped in -short mode")
+	}
+	run := func(par int) conformance.Report {
+		prev := sim.ParWorkers
+		sim.ParWorkers = par
+		defer func() { sim.ParWorkers = prev }()
+		return conformance.CheckBatch(1, 8, conformance.Params{}, 1, conformance.CheckOptions{}, nil)
+	}
+	seq := run(0)
+	if seq.Stats.Cells == 0 {
+		t.Fatal("sequential batch ran no cells")
+	}
+	for _, par := range []int{2, 4} {
+		got := run(par)
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("conformance report differs between -par 1 and -par %d:\nseq: %+v\npar: %+v", par, seq, got)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package parsim is the conservative parallel engine for sim.System: it
+// partitions the machine into node shards (each processor with its LSU and
+// private cache, each home directory with its memory bank, the external
+// write agent) and advances them on separate goroutines in lookahead
+// windows of W = network latency cycles, exchanging messages at a
+// deterministic barrier between windows.
+//
+// Safety: shards share no mutable state — every cross-shard interaction is
+// a network message, and every send is delivered at least W cycles after it
+// is made (Network.Send/Post add the full one-way latency; nothing sends
+// into the past). A message sent anywhere in window [T, T+W) therefore
+// delivers at or after T+W: no shard can observe, during a window, anything
+// another shard does in that window, so stepping them concurrently is
+// indistinguishable from stepping them in the sequential loop's order.
+//
+// Determinism: the barrier (network.Exchange) sorts the window's sends by
+// the position the sequential loop would have sent them at — (cycle, step
+// phase, component rank or handled-message seq, per-endpoint ordinal) — and
+// assigns global sequence numbers in that order, so each endpoint's
+// (deliver, seq) delivery order is byte-for-byte the sequential one. Every
+// stats counter, halt cycle, memory image and report is identical for any
+// worker count, enforced by the differential tests in this package and
+// `make differential`.
+//
+// The engine composes with the PR 2 fast-forward scheduler at two levels:
+// inside a window each shard skips straight between its own event cycles,
+// and between windows the engine jumps the global clock over stretches
+// where no shard has any event. Run declines (and System.Run falls back to
+// the sequential loop) when the network latency is zero (no lookahead),
+// trace hooks are attached (they observe whole-machine state every cycle),
+// or deliveries are already in flight.
+package parsim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/network"
+	"mcmsim/internal/sim"
+)
+
+func init() { sim.RegisterParallelRunner(Run) }
+
+// Worker budget: a process-wide pool of *extra* goroutines (beyond the
+// goroutine calling Run) shared by every concurrently running engine, so
+// cmd/sweep's job workers and per-simulation shard workers draw from one
+// cap instead of multiplying (-j 8 × -par 8 ≠ 64 goroutines).
+var budget = struct {
+	mu   sync.Mutex
+	free int
+}{free: maxInt(runtime.NumCPU()-1, 0)}
+
+// SetWorkerBudget sets the number of extra worker goroutines the engines in
+// this process may use in total (the calling goroutine of each Run is
+// always available on top). Call it only while no simulations are running.
+// The default is NumCPU-1.
+func SetWorkerBudget(n int) {
+	budget.mu.Lock()
+	budget.free = maxInt(n, 0)
+	budget.mu.Unlock()
+}
+
+func acquireExtra(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	budget.mu.Lock()
+	if want > budget.free {
+		want = budget.free
+	}
+	budget.free -= want
+	budget.mu.Unlock()
+	return want
+}
+
+func releaseExtra(n int) {
+	if n <= 0 {
+		return
+	}
+	budget.mu.Lock()
+	budget.free += n
+	budget.mu.Unlock()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// shardStats is one shard's scheduler-observability record (the -schedstats
+// report). Each entry is written only by the goroutine running that shard
+// and read by the coordinator after the window barrier.
+type shardStats struct {
+	steps     uint64 // cycles actually stepped
+	skipped   uint64 // cycles jumped by the shard-local fast-forward
+	windows   uint64 // windows the shard was dispatched in
+	idleTails uint64 // dispatched windows the shard finished early (barrier stall)
+	// activeUntil is 1 + the last cycle the shard had work at — the exact
+	// cycle the sequential loop would have stopped at is the max over
+	// shards (see finishCycle).
+	activeUntil uint64
+}
+
+type engine struct {
+	s      *sim.System
+	shards []*sim.NodeShard
+	eps    []*network.Endpoint
+	x      *network.Exchange
+	st     []shardStats
+
+	dense    bool
+	from, to uint64 // current window [from, to)
+
+	tasks   chan int
+	wg      sync.WaitGroup
+	workers int // goroutines total, including the caller
+
+	windows     uint64
+	globalJumps uint64
+}
+
+// Run advances s to completion with up to par shard goroutines. It reports
+// handled=false when the configuration cannot be windowed (the caller then
+// runs the sequential loop); otherwise its results — halt cycle, error,
+// every observable stat — are identical to the sequential engine's.
+func Run(s *sim.System, par int) (halt uint64, handled bool, err error) {
+	w := s.Net.Latency()
+	if par < 2 || w == 0 || len(s.TraceHooks) > 0 || s.Net.Pending() > 0 ||
+		coherence.DebugTraceLine != 0 {
+		return 0, false, nil
+	}
+	shards := s.Shards()
+	if len(shards) < 2 {
+		return 0, false, nil
+	}
+
+	e := &engine{
+		s:      s,
+		shards: shards,
+		eps:    make([]*network.Endpoint, len(shards)),
+		x:      network.NewExchange(s.Net),
+		st:     make([]shardStats, len(shards)),
+		dense:  s.Cfg.DenseLoop || sim.ForceDense,
+		tasks:  make(chan int, len(shards)),
+	}
+	for i, sh := range shards {
+		e.eps[i] = e.x.Endpoint(sh.NodeID(), sh.Rank(), sh.Handler())
+		sh.BindPort(e.eps[i])
+	}
+	extra := acquireExtra(minInt(par, len(shards)) - 1)
+	e.workers = 1 + extra
+	for k := 0; k < extra; k++ {
+		go func() {
+			for i := range e.tasks {
+				e.runShard(i)
+				e.wg.Done()
+			}
+		}()
+	}
+	teardown := func() {
+		close(e.tasks)
+		releaseExtra(extra)
+		for _, sh := range e.shards {
+			sh.BindPort(s.Net)
+		}
+		s.ParReport = e.report()
+		e.x.Close()
+	}
+
+	start := s.Cycle
+	limit := s.BaseCycle() + s.Cfg.MaxCycles
+	work := make([]int, 0, len(shards))
+	for {
+		if e.done() {
+			break
+		}
+		if s.Cycle-s.BaseCycle() > s.Cfg.MaxCycles {
+			teardown()
+			return 0, true, fmt.Errorf("sim: no convergence after %d cycles\n%s", s.Cfg.MaxCycles, s.Dump())
+		}
+		t := s.Cycle
+		end := t + w
+		if end > limit+1 {
+			end = limit + 1
+		}
+		work = work[:0]
+		if e.dense {
+			for i := range e.shards {
+				work = append(work, i)
+			}
+		} else {
+			// Global fast-forward: jump the clock to the earliest event of
+			// any shard (mirroring the sequential skipIdleCycles, including
+			// its deadlock jump past the cycle budget), and dispatch only
+			// the shards with an event inside this window.
+			horizon, any := e.globalHorizon(t)
+			if !any {
+				s.FastForwarded += limit + 1 - t
+				s.Cycle = limit + 1
+				e.globalJumps++
+				continue
+			}
+			if horizon > t {
+				if horizon > limit+1 {
+					horizon = limit + 1
+				}
+				s.FastForwarded += horizon - t
+				s.Cycle = horizon
+				e.globalJumps++
+				continue
+			}
+			for i, sh := range e.shards {
+				if c, ok := sh.NextEvent(t, e.eps[i]); ok && c < end {
+					work = append(work, i)
+				}
+			}
+		}
+		e.from, e.to = t, end
+		e.dispatch(work)
+		e.windows++
+		e.x.Barrier()
+		s.Cycle = end
+	}
+
+	// The machine went quiescent somewhere inside the last window; rewind
+	// the clock to the exact cycle the sequential loop exits at (one past
+	// the last cycle any shard had work), so warmed-cache phase chaining
+	// (LoadPrograms) sees identical absolute time.
+	s.Cycle = e.finishCycle(start)
+	teardown()
+	return s.HaltCycle() - s.BaseCycle(), true, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dispatch fans the window's shard list out to the worker pool; the calling
+// goroutine drains alongside the extra workers. Returns after every shard
+// finished its window (the barrier's mutual-exclusion edge).
+func (e *engine) dispatch(work []int) {
+	e.wg.Add(len(work))
+	for _, i := range work {
+		e.tasks <- i
+	}
+	for {
+		select {
+		case i := <-e.tasks:
+			e.runShard(i)
+			e.wg.Done()
+		default:
+			e.wg.Wait()
+			return
+		}
+	}
+}
+
+// runShard advances one shard through the current window, stepping only the
+// cycles where the shard provably has work (unless dense mode insists on
+// stepping them all — the step is a no-op then, by the NextWake contract).
+func (e *engine) runShard(i int) {
+	sh, ep, st := e.shards[i], e.eps[i], &e.st[i]
+	for now := e.from; now < e.to; {
+		c, ok := sh.NextEvent(now, ep)
+		if active := ok && c <= now; active || e.dense {
+			if active {
+				st.activeUntil = now + 1
+			}
+			sh.StepCycle(now, ep)
+			st.steps++
+			now++
+			continue
+		}
+		next := e.to
+		if ok && c < next {
+			next = c
+		}
+		st.skipped += next - now
+		if next == e.to {
+			st.idleTails++
+		}
+		now = next
+	}
+	st.windows++
+}
+
+// globalHorizon returns the earliest event cycle across all shards at or
+// after t (single-threaded; runs between windows).
+func (e *engine) globalHorizon(t uint64) (uint64, bool) {
+	var best uint64
+	any := false
+	for i, sh := range e.shards {
+		if c, ok := sh.NextEvent(t, e.eps[i]); ok {
+			if c <= t {
+				return t, true
+			}
+			if !any || c < best {
+				best, any = c, true
+			}
+		}
+	}
+	return best, any
+}
+
+// done mirrors System.Done at a window boundary: every shard quiescent and
+// no message anywhere in flight (outboxes are empty between windows, so the
+// inboxes hold the entire in-flight set).
+func (e *engine) done() bool {
+	for _, sh := range e.shards {
+		if !sh.Quiescent() {
+			return false
+		}
+	}
+	return e.x.PendingTotal() == 0
+}
+
+// finishCycle computes the exact cycle the sequential loop would have
+// exited at: one past the last cycle any shard had work (state can only
+// change on a cycle a shard's NextEvent flags, so from that point on Done
+// held), but never before the run started.
+func (e *engine) finishCycle(start uint64) uint64 {
+	out := start
+	for i := range e.st {
+		if au := e.st[i].activeUntil; au > out {
+			out = au
+		}
+	}
+	return out
+}
+
+// report renders the scheduler-observability summary (mcsim -schedstats).
+func (e *engine) report() string {
+	var b strings.Builder
+	var steps, skipped uint64
+	for i := range e.st {
+		steps += e.st[i].steps
+		skipped += e.st[i].skipped
+	}
+	fmt.Fprintf(&b, "parsim: shards=%d workers=%d window=%d windows=%d exchanged=%d global_jumps=%d ff_cycles=%d shard_steps=%d shard_skipped=%d\n",
+		len(e.shards), e.workers, e.s.Net.Latency(), e.windows, e.x.Exchanged, e.globalJumps, e.s.FastForwarded, steps, skipped)
+	for i, sh := range e.shards {
+		st := &e.st[i]
+		fmt.Fprintf(&b, "  %-6s windows=%d steps=%d skipped=%d idle_tails=%d delivered=%d sent=%d\n",
+			sh.Label(), st.windows, st.steps, st.skipped, st.idleTails, e.eps[i].Received, e.eps[i].Sent())
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package parsim_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/parsim"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+// The tests drive parsim.Run directly (not via sim.ParWorkers) so they
+// never leak process-global state into other packages' tests; the budget is
+// raised explicitly because the differential guarantee must hold — and be
+// exercised — regardless of how many CPUs the host happens to have.
+func init() { parsim.SetWorkerBudget(8) }
+
+var techniques = []struct {
+	name string
+	tech core.Technique
+}{
+	{"conv", core.Technique{}},
+	{"pf", core.Technique{Prefetch: true}},
+	{"spec", core.Technique{SpecLoad: true, ReissueOpt: true}},
+	{"pf+spec", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+}
+
+func mixProgs(nprocs int, seed int64) []*isa.Program {
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		progs[p] = workload.RandomSharing(p, nprocs, workload.EqualizationMix(seed))
+	}
+	return progs
+}
+
+type runResult struct {
+	cycles   uint64
+	endCycle uint64
+	stats    string
+	mem      map[uint64]int64
+}
+
+// runSeq runs cfg sequentially; runPar runs it through the parallel engine
+// and fails the test if the engine declined the configuration.
+func runSeq(t testing.TB, cfg sim.Config, progs []*isa.Program) runResult {
+	t.Helper()
+	s := sim.New(cfg, progs)
+	cycles, err := s.Run()
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+}
+
+func runPar(t testing.TB, cfg sim.Config, progs []*isa.Program, par int) runResult {
+	t.Helper()
+	s := sim.New(cfg, progs)
+	cycles, handled, err := parsim.Run(s, par)
+	if !handled {
+		t.Fatalf("parallel engine declined par=%d (latency=%d)", par, cfg.NetLatency)
+	}
+	if err != nil {
+		t.Fatalf("parallel run par=%d: %v", par, err)
+	}
+	return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+}
+
+func diffResults(t *testing.T, label string, seq, par runResult) {
+	t.Helper()
+	if seq.cycles != par.cycles {
+		t.Errorf("%s: halt cycle seq=%d par=%d", label, seq.cycles, par.cycles)
+	}
+	if seq.endCycle != par.endCycle {
+		t.Errorf("%s: final clock seq=%d par=%d", label, seq.endCycle, par.endCycle)
+	}
+	if seq.stats != par.stats {
+		t.Errorf("%s: stats reports differ:\n--- sequential ---\n%s--- parallel ---\n%s", label, seq.stats, par.stats)
+	}
+	if !reflect.DeepEqual(seq.mem, par.mem) {
+		t.Errorf("%s: coherent memory images differ: seq=%v par=%v", label, seq.mem, par.mem)
+	}
+}
+
+// TestParallelEngineMatchesSequential is the differential gate for the
+// conservative parallel engine: across the model × technique grid, in both
+// dense and fast-forward mode, the sharded run must reproduce the
+// sequential run exactly — halt cycle, final clock value, every stats
+// counter, and the coherent memory image — for every worker count.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	for _, m := range core.AllModels {
+		for _, tc := range techniques {
+			for _, dense := range []bool{false, true} {
+				mode := "ff"
+				if dense {
+					mode = "dense"
+				}
+				t.Run(fmt.Sprintf("%v/%s/%s", m, tc.name, mode), func(t *testing.T) {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = 3
+					cfg.Model = m
+					cfg.Tech = tc.tech
+					cfg.DenseLoop = dense
+					progs := mixProgs(3, 7)
+					seq := runSeq(t, cfg, progs)
+					for _, par := range []int{2, 4, 8} {
+						diffResults(t, fmt.Sprintf("par=%d", par), seq, runPar(t, cfg, progs, par))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelEngineDistributedMemory exercises the multi-home/banked
+// memory and bounded-directory-bandwidth paths (the E12 configuration
+// shape), where several directory shards serve interleaved lines.
+func TestParallelEngineDistributedMemory(t *testing.T) {
+	for _, mods := range []int{2, 4} {
+		for _, bw := range []int{0, 1} {
+			t.Run(fmt.Sprintf("modules=%d/bw=%d", mods, bw), func(t *testing.T) {
+				cfg := sim.RealisticConfig().WithMissLatency(100)
+				cfg.Procs = 4
+				cfg.Model = core.RC
+				cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+				cfg.MemModules = mods
+				cfg.DirBandwidth = bw
+				progs := mixProgs(4, 11)
+				seq := runSeq(t, cfg, progs)
+				for _, par := range []int{2, 8} {
+					diffResults(t, fmt.Sprintf("par=%d", par), seq, runPar(t, cfg, progs, par))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEngineScheduledWrites covers the external-write agent shard:
+// writes injected at fixed cycles (including a backlog before the first
+// cycle the machine is busy) must land identically.
+func TestParallelEngineScheduledWrites(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.Model = core.SC
+	progs := mixProgs(2, 3)
+	writes := []sim.ScheduledWrite{
+		{Cycle: 0, Addr: 64, Value: 7},
+		{Cycle: 10, Addr: 4, Value: 9},
+		{Cycle: 500, Addr: 8, Value: -2},
+		{Cycle: 501, Addr: 64, Value: 5},
+	}
+	runOne := func(par int) runResult {
+		s := sim.New(cfg, progs)
+		s.ScheduleWrites(writes)
+		if par <= 1 {
+			cycles, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+		}
+		cycles, handled, err := parsim.Run(s, par)
+		if !handled || err != nil {
+			t.Fatalf("par=%d handled=%v err=%v", par, handled, err)
+		}
+		return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+	}
+	seq := runOne(1)
+	for _, par := range []int{2, 4} {
+		diffResults(t, fmt.Sprintf("par=%d", par), seq, runOne(par))
+	}
+}
+
+// TestParallelEngineNSTBypass covers the Stenstrom NST comparator, whose
+// cacheless accesses flow through the directory's MemRead/MemWrite path.
+func TestParallelEngineNSTBypass(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	cfg.NST = true
+	progs := mixProgs(3, 5)
+	seq := runSeq(t, cfg, progs)
+	diffResults(t, "par=4", seq, runPar(t, cfg, progs, 4))
+}
+
+// TestParallelEngineErrorParity pins the non-convergence path: with a cycle
+// budget too small to finish, the parallel engine must fail at the same
+// cycle with the same error text (including the machine dump) as the
+// sequential loop.
+func TestParallelEngineErrorParity(t *testing.T) {
+	cfg := sim.RealisticConfig().WithMissLatency(100)
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	cfg.MaxCycles = 300 // far too few for this workload
+	progs := mixProgs(3, 7)
+
+	s1 := sim.New(cfg, progs)
+	_, err1 := s1.Run()
+	if err1 == nil {
+		t.Fatal("sequential run converged; budget not small enough for the test")
+	}
+	for _, par := range []int{2, 8} {
+		s2 := sim.New(cfg, progs)
+		_, handled, err2 := parsim.Run(s2, par)
+		if !handled {
+			t.Fatalf("engine declined par=%d", par)
+		}
+		if err2 == nil {
+			t.Fatalf("par=%d converged where sequential errored", par)
+		}
+		if err1.Error() != err2.Error() {
+			t.Errorf("par=%d error differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", par, err1, err2)
+		}
+		if s1.Cycle != s2.Cycle {
+			t.Errorf("par=%d error cycle seq=%d par=%d", par, s1.Cycle, s2.Cycle)
+		}
+	}
+}
+
+// TestParallelEngineWarmupChaining pins the LoadPrograms phase-chaining
+// pattern (warm caches, then measure): a parallel warmup phase must leave
+// the machine — clock included — in a state from which the second phase
+// reproduces the sequential timings exactly, and vice versa.
+func TestParallelEngineWarmupChaining(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.Model = core.WC
+	warm := mixProgs(2, 19)
+	measure := mixProgs(2, 23)
+
+	run := func(warmPar, measurePar int) runResult {
+		s := sim.New(cfg, warm)
+		phase := func(par int) uint64 {
+			if par <= 1 {
+				c, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			c, handled, err := parsim.Run(s, par)
+			if !handled || err != nil {
+				t.Fatalf("par=%d handled=%v err=%v", par, handled, err)
+			}
+			return c
+		}
+		phase(warmPar)
+		s.LoadPrograms(measure)
+		cycles := phase(measurePar)
+		return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+	}
+
+	seq := run(1, 1)
+	diffResults(t, "par-warm/seq-measure", seq, run(4, 1))
+	diffResults(t, "seq-warm/par-measure", seq, run(1, 4))
+	diffResults(t, "par-warm/par-measure", seq, run(4, 4))
+}
+
+// TestParallelEngineDeclines pins the fallback conditions: zero-latency
+// networks and attached trace hooks cannot be windowed and must be declined
+// (System.Run then transparently uses the sequential loop).
+func TestParallelEngineDeclines(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.NetLatency = 0
+	s := sim.New(cfg, mixProgs(2, 7))
+	if _, handled, _ := parsim.Run(s, 4); handled {
+		t.Error("engine accepted a zero-latency network")
+	}
+
+	cfg = sim.RealisticConfig()
+	cfg.Procs = 2
+	s = sim.New(cfg, mixProgs(2, 7))
+	s.TraceHooks = append(s.TraceHooks, func(*sim.System, uint64) {})
+	if _, handled, _ := parsim.Run(s, 4); handled {
+		t.Error("engine accepted a system with trace hooks")
+	}
+
+	s = sim.New(cfg, mixProgs(2, 7))
+	if _, handled, _ := parsim.Run(s, 1); handled {
+		t.Error("engine accepted par=1")
+	}
+}
+
+// TestParallelEngineViaRunKnob exercises the production entry point: the
+// process-wide sim.ParWorkers knob routing System.Run through the
+// registered engine, including the fallback path staying invisible.
+func TestParallelEngineViaRunKnob(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 3
+	cfg.Model = core.PC
+	cfg.Tech = core.Technique{Prefetch: true}
+	progs := mixProgs(3, 7)
+	seq := runSeq(t, cfg, progs)
+
+	sim.ParWorkers = 4
+	defer func() { sim.ParWorkers = 0 }()
+	s := sim.New(cfg, progs)
+	cycles, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+	diffResults(t, "ParWorkers=4", seq, par)
+	if s.ParReport == "" {
+		t.Error("parallel run left ParReport empty")
+	}
+	if !strings.Contains(s.ParReport, "parsim: shards=5") {
+		t.Errorf("unexpected ParReport header:\n%s", s.ParReport)
+	}
+}
+
+// TestParallelEngineSchedStats sanity-checks the scheduler-observability
+// counters: a real run must execute windows, step cycles on several shards,
+// and exchange messages.
+func TestParallelEngineSchedStats(t *testing.T) {
+	cfg := sim.RealisticConfig().WithMissLatency(400)
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	s := sim.New(cfg, mixProgs(3, 7))
+	if _, handled, err := parsim.Run(s, 4); !handled || err != nil {
+		t.Fatalf("handled=%v err=%v", handled, err)
+	}
+	rep := s.ParReport
+	for _, want := range []string{"windows=", "exchanged=", "proc0", "proc2", "home0", "agent"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("ParReport missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "exchanged=0 ") {
+		t.Errorf("no messages exchanged at the barriers:\n%s", rep)
+	}
+}

@@ -14,7 +14,7 @@ import (
 type agent struct {
 	id    network.NodeID
 	homes []network.NodeID
-	net   *network.Network
+	net   network.Port
 	geom  memsys.Geometry
 
 	outstanding int // writes awaiting UpdateDone
@@ -25,6 +25,9 @@ func newAgent(id network.NodeID, net *network.Network, homes []network.NodeID, g
 	net.Attach(id, a)
 	return a
 }
+
+// setPort rebinds the agent onto a shard-private endpoint (and back).
+func (a *agent) setPort(p network.Port) { a.net = p }
 
 // write sends one external word write into the memory system.
 func (a *agent) write(w ScheduledWrite, now uint64) {

@@ -70,6 +70,27 @@ type Config struct {
 // must only be toggled while no simulations are running.
 var ForceDense bool
 
+// ParWorkers is the shard-parallelism degree applied to every Run in the
+// process (the -par flag): 0 or 1 selects the sequential loop, N ≥ 2 asks
+// the registered parallel engine (internal/parsim) to advance up to N node
+// shards concurrently. Like ForceDense it must only change while no
+// simulations are running; concurrent Runs (cmd/sweep -j) all observe the
+// same value.
+var ParWorkers int
+
+// parallelRunner is installed by internal/parsim (an init-time hook keeps
+// sim free of an import cycle: parsim imports sim). It returns handled=false
+// when the engine declines the configuration — zero network latency, trace
+// hooks attached, pending messages — in which case Run falls back to the
+// sequential loop below.
+var parallelRunner func(s *System, workers int) (halt uint64, handled bool, err error)
+
+// RegisterParallelRunner installs the parallel engine Run consults when
+// ParWorkers ≥ 2.
+func RegisterParallelRunner(f func(s *System, workers int) (uint64, bool, error)) {
+	parallelRunner = f
+}
+
 // PaperConfig reproduces the abstract machine of the paper's examples:
 // 1-cycle cache hits, 100-cycle misses (45+10+45), one access accepted per
 // cycle, free instruction supply, single-word lines so the examples never
@@ -150,7 +171,18 @@ type System struct {
 	// scheduler (diagnostics only; deliberately absent from StatsReport so
 	// dense and fast-forward reports stay byte-identical).
 	FastForwarded uint64
+
+	// ParReport is the parallel engine's scheduler summary for the most
+	// recent Run (per-shard cycles, windows, skips, exchanged messages).
+	// Empty after a sequential run. Diagnostics only — like FastForwarded it
+	// is deliberately absent from StatsReport, so sequential and parallel
+	// reports stay byte-identical.
+	ParReport string
 }
+
+// BaseCycle returns the cycle at which the current programs were loaded;
+// halt cycles are reported relative to it.
+func (s *System) BaseCycle() uint64 { return s.baseCycle }
 
 // TraceHook observes every cycle after all phases ran; used by the
 // Figure 5 tracer.
@@ -172,7 +204,10 @@ func New(cfg Config, progs []*isa.Program) *System {
 		cfg.MemModules = 1
 	}
 	geom := memsys.NewGeometry(cfg.LineWords)
-	mem := memsys.NewMemory(geom)
+	// One storage bank per home module: each directory shard then touches
+	// only its own map, which is what lets the parallel engine run home
+	// nodes on separate goroutines against the one Memory.
+	mem := memsys.NewBankedMemory(geom, cfg.MemModules)
 	net := network.New(cfg.NetLatency)
 	homes := make([]network.NodeID, cfg.MemModules)
 	dirs := make([]*coherence.Directory, cfg.MemModules)
@@ -359,6 +394,11 @@ func (s *System) Done() bool {
 // cycles where Step would have been a pure no-op, halt cycles, statistics,
 // memory images and traces are identical to the dense loop's.
 func (s *System) Run() (uint64, error) {
+	if w := ParWorkers; w > 1 && parallelRunner != nil {
+		if halt, handled, err := parallelRunner(s, w); handled {
+			return halt, err
+		}
+	}
 	dense := s.Cfg.DenseLoop || ForceDense
 	for !s.Done() {
 		if s.Cycle-s.baseCycle > s.Cfg.MaxCycles {
