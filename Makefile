@@ -32,13 +32,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The differential tier: the idle-cycle fast-forward scheduler and the
-# conservative parallel engine must both be observationally identical to
-# stepping every cycle sequentially — across the model x technique grid,
-# shard-worker counts {2,4,8}, the full experiment suite in every output
-# format, a conformance batch, and the Figure 5 cycle-level trace.
+# The differential tier: the idle-cycle fast-forward scheduler, the
+# conservative parallel engine, machine snapshot/restore, and the
+# warmup-snapshot cache must all be observationally identical to the plain
+# sequential cold-start run — across the model x technique grid, every
+# execution engine, shard-worker counts {2,4,8}, the full experiment suite
+# in every output format with the cache on and off, a conformance batch,
+# and the Figure 5 cycle-level trace.
 differential:
-	$(GO) test -run 'TestFastForward|TestParallelEngine' ./internal/sim ./internal/experiments ./internal/parsim
+	$(GO) test -run 'TestFastForward|TestParallelEngine|TestSnapshot|TestWarmupCache' ./internal/sim ./internal/experiments ./internal/parsim ./internal/runner
 
 # The conformance tier: a smoke batch of generated litmus programs checked
 # against the exhaustive SC oracle across the model x technique x timing

@@ -291,6 +291,70 @@ func BenchmarkSweepSuite(b *testing.B) {
 	}
 }
 
+// benchmarkSuiteWarmup runs the suite's warmup-declaring sweeps — E6's
+// Adve-Hill comparison (three variants sharing one warmup) and E15's
+// warmed-cache grid (ten variants sharing one warmup) — with and without
+// the warmup-snapshot cache. A fresh cache per iteration keeps the
+// measurement honest: every iteration simulates each distinct warmup
+// exactly once and clones it for the remaining points, versus thirteen
+// cold warmup simulations without the cache. The cycles metric must not
+// move between the two variants (the cache is observationally inert); the
+// cold/cache ns/op ratio is the suite wall-clock win EXPERIMENTS.md
+// reports.
+func benchmarkSuiteWarmup(b *testing.B, cached bool) {
+	jobs := append(experiments.AdveHillComparisonJobs(32), experiments.WarmedEqualizationJobs()...)
+	var rowsSum uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := runner.Options{Workers: 1}
+		if cached {
+			opts.WarmupCache = runner.NewWarmupCache()
+		}
+		rows, err := runner.Rows(runner.Run(jobs, opts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowsSum = 0
+		for _, r := range rows {
+			rowsSum += r.Cycles
+		}
+	}
+	b.ReportMetric(float64(rowsSum), "cycles")
+}
+
+func BenchmarkSuiteWarmupCold(b *testing.B)  { benchmarkSuiteWarmup(b, false) }
+func BenchmarkSuiteWarmupCache(b *testing.B) { benchmarkSuiteWarmup(b, true) }
+
+// BenchmarkSnapshotRoundTrip measures the snapshot machinery itself: one
+// iteration serializes a warmed 3-processor machine and restores a private
+// clone from it — the per-job cost a cache hit pays instead of simulating
+// the warmup.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	cfg.Tech = experiments.TechBoth
+	progs := make([]*isa.Program, 3)
+	for p := 0; p < 3; p++ {
+		progs[p] = workload.RandomSharing(p, 3, workload.EqualizationMix(7))
+	}
+	s := sim.New(cfg, progs)
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := s.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated
 // cycles per wall-clock second on the mixed workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -9,6 +9,18 @@
 //	mcsim -workload example2 -model RC -prefetch -spec
 //	mcsim -workload critical -procs 4 -model WC -prefetch -stats
 //	mcsim -workload mix -procs 3 -model SC -spec -prefetch -miss 200
+//
+// A warmed machine can be saved once and measured many times: -save-state
+// snapshots the machine right after the workload's warmup phase (or after
+// the run, for workloads without one), and -load-state restores it and runs
+// only the measured phase. The restored run is byte-identical to the
+// corresponding cold run; -cpuprofile covers only the measured phase, so a
+// profile taken with -load-state excludes warmup entirely. Model and
+// technique flags still apply on load — structural flags (-miss, -modules,
+// -dirbw, -update, -nst, -realistic) are pinned by the snapshot:
+//
+//	mcsim -workload example2 -save-state warm.snap
+//	mcsim -workload example2 -load-state warm.snap -prefetch -spec -cpuprofile measured.pprof
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"mcmsim/internal/isa"
 	"mcmsim/internal/parsim"
 	"mcmsim/internal/sim"
+	"mcmsim/internal/snapshot"
 	"mcmsim/internal/workload"
 )
 
@@ -47,7 +60,9 @@ func main() {
 		dense     = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
 		par       = flag.Int("par", 1, "shard the simulation across up to N goroutines (node-level conservative parallelism; results are byte-identical for every N)")
 		schedWant = flag.Bool("schedstats", false, "print the parallel scheduler's per-shard counters after the run (requires -par > 1)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		saveState = flag.String("save-state", "", "write a machine snapshot to this file (after warmup if the workload has one, else after the run)")
+		loadState = flag.String("load-state", "", "restore the machine from this snapshot instead of simulating the warmup")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the measured phase only)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
@@ -63,12 +78,6 @@ func main() {
 		}
 		parsim.SetWorkerBudget(n - 1)
 	}
-	stopProf, err := startProfiles(*cpuProf, *memProf)
-	if err != nil {
-		fatal(err)
-	}
-	defer stopProf()
-
 	m, err := core.ParseModel(*model)
 	if err != nil {
 		fatal(err)
@@ -100,20 +109,46 @@ func main() {
 	}
 
 	var s *sim.System
-	if warmups != nil {
+	savedPostWarmup := false
+	switch {
+	case *loadState != "":
+		s = restoreState(*loadState, cfg, len(progs))
+		s.Cfg.Model = cfg.Model
+		s.Cfg.Tech = cfg.Tech
+		// The snapshot's memory image is authoritative: it already holds
+		// the preload (applied before the warmup that produced it) plus
+		// everything the warmup wrote, so it is not re-applied here.
+		s.LoadPrograms(progs)
+	case warmups != nil:
 		s = sim.New(cfg, warmups)
 		s.Preload(preload)
 		if _, err := s.Run(); err != nil {
 			fatal(fmt.Errorf("warmup: %w", err))
 		}
+		if *saveState != "" {
+			writeState(s, *saveState)
+			savedPostWarmup = true
+		}
 		s.LoadPrograms(progs)
-	} else {
+	default:
 		s = sim.New(cfg, progs)
 		s.Preload(preload)
 	}
+
+	// Profiles cover only the measured phase: warmup simulation and state
+	// restore are setup, and excluding them is the point of -load-state.
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	cycles, err := s.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if *saveState != "" && !savedPostWarmup {
+		writeState(s, *saveState)
 	}
 	fmt.Printf("workload=%s model=%v tech=%v protocol=%v miss=%d procs=%d\n",
 		*wl, m, cfg.Tech, cfg.Protocol, cfg.MissLatency(), cfg.Procs)
@@ -208,6 +243,52 @@ func buildWorkload(name string, procs int, seed int64) (progs, warmups []*isa.Pr
 		fatal(fmt.Errorf("unknown workload %q", name))
 		return nil, nil, nil, nil
 	}
+}
+
+// writeState snapshots the machine (which must be quiescent) to a file.
+func writeState(s *sim.System, path string) {
+	m, err := s.Snapshot()
+	if err != nil {
+		fatal(fmt.Errorf("save-state: %w", err))
+	}
+	if err := snapshot.WriteFile(path, m); err != nil {
+		fatal(fmt.Errorf("save-state: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "mcsim: machine state saved to %s (cycle %d)\n", path, s.Cycle)
+}
+
+// restoreState rebuilds a machine from a snapshot file. Structural
+// parameters (latencies, module count, protocol, cache geometry, processor
+// count) come from the snapshot; an explicit flag that contradicts it is an
+// error rather than a silent override, since the restored machine cannot
+// change shape. Model and technique are applied by the caller — they only
+// affect the LSUs and CPUs, which LoadPrograms rebuilds.
+func restoreState(path string, cfg sim.Config, nprogs int) *sim.System {
+	m, err := snapshot.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("load-state: %w", err))
+	}
+	s, err := sim.Restore(m)
+	if err != nil {
+		fatal(fmt.Errorf("load-state: %w", err))
+	}
+	conflicts := map[string]bool{
+		"miss":      s.Cfg.MissLatency() != cfg.MissLatency(),
+		"modules":   s.Cfg.MemModules != cfg.MemModules,
+		"dirbw":     s.Cfg.DirBandwidth != cfg.DirBandwidth,
+		"update":    s.Cfg.Protocol != cfg.Protocol,
+		"nst":       s.Cfg.NST != cfg.NST,
+		"realistic": s.Cfg.Cache != cfg.Cache || s.Cfg.CPU != cfg.CPU,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if conflicts[f.Name] {
+			fatal(fmt.Errorf("load-state: -%s conflicts with the machine saved in %s", f.Name, path))
+		}
+	})
+	if s.Cfg.Procs != nprogs {
+		fatal(fmt.Errorf("load-state: snapshot has %d processors, workload builds %d programs", s.Cfg.Procs, nprogs))
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@
 //	sweep -exp bandwidth      home-module bandwidth and interleaving
 //	sweep -exp mshr           lockup-free cache MSHR sweep (§3.2)
 //	sweep -exp reissue        reissue-only correction ablation (§4.2)
+//	sweep -exp warmequal      model x technique grid on warmed caches
 //	sweep -exp all            everything, on one shared worker pool
 //
 // Execution and output flags:
@@ -26,6 +27,8 @@
 //	-out FILE         write the report to FILE instead of stdout
 //	-quiet            suppress the per-job progress log on stderr
 //	-dense            step every cycle (disable idle-cycle fast-forward)
+//	-snapshot-cache   dedupe identical warmup phases via machine snapshots
+//	                  (default true; output is byte-identical either way)
 //	-cpuprofile FILE  write a pprof CPU profile
 //	-memprofile FILE  write a pprof heap profile at exit
 //
@@ -59,6 +62,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		dense   = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
 		par     = flag.Int("par", 1, "shard each simulation across up to N goroutines (output stays byte-identical for every N)")
+		snapC   = flag.Bool("snapshot-cache", true, "simulate each distinct warmup phase once and clone it via machine snapshots (output stays byte-identical either way)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -78,7 +82,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet); err != nil {
+	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet, *snapC, *par); err != nil {
 		stopProf()
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -86,7 +90,7 @@ func main() {
 	stopProf()
 }
 
-func run(exp string, params experiments.Params, workers int, format, out string, quiet bool) error {
+func run(exp string, params experiments.Params, workers int, format, out string, quiet bool, snapCache bool, par int) error {
 	sweeps, err := selectSweeps(exp)
 	if err != nil {
 		return err
@@ -109,6 +113,15 @@ func run(exp string, params experiments.Params, workers int, format, out string,
 	}
 
 	opts := runner.Options{Workers: workers}
+	if snapCache {
+		opts.WarmupCache = runner.NewWarmupCache()
+	}
+	if par > 1 {
+		// The static budget split above assumed every job worker stays
+		// busy; as the queue drains, each idling worker hands its CPU share
+		// to the shard engines of the simulations still running.
+		opts.OnWorkerIdle = func() { parsim.AddWorkerBudget(1) }
+	}
 	if !quiet {
 		opts.OnProgress = func(p runner.Progress) {
 			status := fmt.Sprintf("cycles=%d", p.Cycles)

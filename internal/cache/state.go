@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmsim/internal/stats"
+)
+
+// LineState is one serialized way of a set, including Invalid entries:
+// the physical slice order and the lastUse stamps are what the LRU victim
+// scan observes, so both are captured verbatim rather than re-derived.
+type LineState struct {
+	Addr     uint64
+	State    uint8
+	Data     []int64
+	GrantVer uint64
+	LastUse  uint64
+}
+
+// AckPoolState is one banked early acknowledgement (an InvAck that arrived
+// before its requester's fill): (line, transaction tag) -> count.
+type AckPoolState struct {
+	LineAddr uint64
+	Tag      uint64
+	Count    int
+}
+
+// SavedState is the serializable state of one private cache at quiescence:
+// the data arrays, the LRU clock, any banked early acks, and the
+// statistics. Everything else in the Cache — MSHRs, scheduled completions,
+// writebacks, update transactions, retry queues, pins — is transient and
+// provably empty when PendingWork() is false. (Named SavedState because
+// State is the per-line MSI enum.)
+type SavedState struct {
+	Sets     [][]LineState // [set][way], physical order preserved
+	UseClock uint64
+	AckPool  []AckPoolState // sorted by (LineAddr, Tag)
+	Stats    stats.State
+}
+
+// ExportState captures the cache state. It fails while any transaction is
+// outstanding.
+func (c *Cache) ExportState() (SavedState, error) {
+	if c.PendingWork() {
+		return SavedState{}, fmt.Errorf("cache %d: export with pending work", c.ID)
+	}
+	if len(c.pinned) != 0 {
+		return SavedState{}, fmt.Errorf("cache %d: export with %d pinned lines", c.ID, len(c.pinned))
+	}
+	st := SavedState{Sets: make([][]LineState, len(c.sets)), UseClock: c.useClock, Stats: c.Stats.ExportState()}
+	for i, set := range c.sets {
+		ways := make([]LineState, len(set))
+		for w, l := range set {
+			data := make([]int64, len(l.data))
+			copy(data, l.data)
+			ways[w] = LineState{Addr: l.addr, State: uint8(l.state), Data: data, GrantVer: l.grantVer, LastUse: l.lastUse}
+		}
+		st.Sets[i] = ways
+	}
+	for k, n := range c.ackPool {
+		st.AckPool = append(st.AckPool, AckPoolState{LineAddr: k.lineAddr, Tag: k.tag, Count: n})
+	}
+	sort.Slice(st.AckPool, func(i, j int) bool {
+		if st.AckPool[i].LineAddr != st.AckPool[j].LineAddr {
+			return st.AckPool[i].LineAddr < st.AckPool[j].LineAddr
+		}
+		return st.AckPool[i].Tag < st.AckPool[j].Tag
+	})
+	return st, nil
+}
+
+// RestoreState replaces the cache arrays and statistics with the exported
+// ones. The geometry must match the cache's configuration; the cache must
+// be idle (freshly constructed or quiescent).
+func (c *Cache) RestoreState(st SavedState) error {
+	if c.PendingWork() {
+		return fmt.Errorf("cache %d: restore with pending work", c.ID)
+	}
+	if len(st.Sets) != c.cfg.Sets {
+		return fmt.Errorf("cache %d: snapshot has %d sets, cache has %d", c.ID, len(st.Sets), c.cfg.Sets)
+	}
+	sets := make([][]*line, c.cfg.Sets)
+	for i, ways := range st.Sets {
+		// A set is either untouched (nil — victimize lazily populates it
+		// with cfg.Ways Invalid lines on first install) or fully populated;
+		// restoring an empty set as a non-nil zero-way slice would defeat
+		// the lazy init and leave installs retrying forever.
+		if len(ways) == 0 {
+			continue
+		}
+		if len(ways) != c.cfg.Ways {
+			return fmt.Errorf("cache %d: snapshot set %d has %d ways, cache has %d", c.ID, i, len(ways), c.cfg.Ways)
+		}
+		set := make([]*line, len(ways))
+		for w, ls := range ways {
+			data := make([]int64, len(ls.Data))
+			copy(data, ls.Data)
+			set[w] = &line{addr: ls.Addr, state: State(ls.State), data: data, grantVer: ls.GrantVer, lastUse: ls.LastUse}
+		}
+		sets[i] = set
+	}
+	c.sets = sets
+	c.useClock = st.UseClock
+	c.ackPool = make(map[ackKey]int, len(st.AckPool))
+	for _, a := range st.AckPool {
+		c.ackPool[ackKey{lineAddr: a.LineAddr, tag: a.Tag}] = a.Count
+	}
+	c.Stats.RestoreState(st.Stats)
+	return nil
+}

@@ -1,0 +1,69 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmsim/internal/network"
+	"mcmsim/internal/stats"
+)
+
+// LineState is the serializable directory entry for one line. Only stable
+// fields appear: a quiescent directory (the only kind ExportState accepts)
+// has no busy recalls, no queued requests and no pending ingress, so the
+// entry reduces to the sharing vector and the version counter. The version
+// must persist even for uncached lines — grants already handed out carry
+// it, and caches order racing messages by it.
+type LineState struct {
+	Addr    uint64
+	State   uint8
+	Sharers []network.NodeID // ascending
+	Owner   network.NodeID
+	Ver     uint64
+}
+
+// State is the serializable state of one home module.
+type State struct {
+	Lines []LineState // ascending by Addr
+	Stats stats.State
+}
+
+// ExportState captures the directory state. It fails unless the directory
+// is quiescent: busy transactions hold in-flight messages, which are
+// transient state the snapshot layer refuses to chase.
+func (d *Directory) ExportState() (State, error) {
+	if !d.Quiescent() {
+		return State{}, fmt.Errorf("coherence: export of non-quiescent directory %d", d.ID)
+	}
+	st := State{Lines: make([]LineState, 0, len(d.lines)), Stats: d.Stats.ExportState()}
+	for addr, l := range d.lines {
+		ls := LineState{Addr: addr, State: uint8(l.state), Owner: l.owner, Ver: l.ver}
+		for id := range l.sharers {
+			ls.Sharers = append(ls.Sharers, id)
+		}
+		sort.Slice(ls.Sharers, func(i, j int) bool { return ls.Sharers[i] < ls.Sharers[j] })
+		st.Lines = append(st.Lines, ls)
+	}
+	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Addr < st.Lines[j].Addr })
+	return st, nil
+}
+
+// RestoreState replaces the directory's line table and statistics with the
+// exported ones. The directory must be idle (freshly constructed or
+// quiescent).
+func (d *Directory) RestoreState(st State) error {
+	if !d.Quiescent() {
+		return fmt.Errorf("coherence: restore into non-quiescent directory %d", d.ID)
+	}
+	lines := make(map[uint64]*dirLine, len(st.Lines))
+	for _, ls := range st.Lines {
+		l := &dirLine{state: dirState(ls.State), sharers: make(map[network.NodeID]bool, len(ls.Sharers)), owner: ls.Owner, ver: ls.Ver}
+		for _, id := range ls.Sharers {
+			l.sharers[id] = true
+		}
+		lines[ls.Addr] = l
+	}
+	d.lines = lines
+	d.Stats.RestoreState(st.Stats)
+	return nil
+}

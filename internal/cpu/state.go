@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmsim/internal/isa"
+	"mcmsim/internal/stats"
+)
+
+// PredictorState is one trained branch-predictor entry (pc -> 2-bit
+// counter), listed in ascending pc order for deterministic encoding.
+type PredictorState struct {
+	PC      int
+	Counter uint8
+}
+
+// State is the serializable processor state at quiescence: the
+// architectural registers, the fetch/halt bookkeeping, the instruction-ID
+// counter (ROB ids persist across program phases and tag the LSU's
+// entries), the trained predictor, and the statistics. The reorder buffer
+// itself is empty on a halted processor, and the register-alias table needs
+// no capture: a RAT entry whose producer has committed is treated as
+// invalid by operand lookup (readReg falls back to the architectural
+// register file), so a drained pipeline's RAT is behaviourally blank.
+type State struct {
+	PC            int
+	FetchResumeAt uint64
+	HaltFetched   bool
+	Halted        bool
+	HaltCycle     uint64
+	NextID        uint64
+	Regfile       []int64
+	Predictor     []PredictorState
+	Stats         stats.State
+}
+
+// Program returns the program the processor is bound to (captured by the
+// machine snapshot so a restored system can rebuild the processor).
+func (p *Proc) Program() *isa.Program { return p.prog }
+
+// ExportState captures the processor state. It fails while instructions
+// are in flight.
+func (p *Proc) ExportState() (State, error) {
+	if len(p.rob) != 0 {
+		return State{}, fmt.Errorf("cpu %d: export with %d in-flight instructions", p.ID, len(p.rob))
+	}
+	st := State{
+		PC:            p.pc,
+		FetchResumeAt: p.fetchResumeAt,
+		HaltFetched:   p.haltFetched,
+		Halted:        p.halted,
+		HaltCycle:     p.HaltCycle,
+		NextID:        p.nextID,
+		Regfile:       make([]int64, isa.NumRegs),
+		Predictor:     make([]PredictorState, 0, len(p.predictor)),
+		Stats:         p.Stats.ExportState(),
+	}
+	copy(st.Regfile, p.regfile[:])
+	for pc, ctr := range p.predictor {
+		st.Predictor = append(st.Predictor, PredictorState{PC: pc, Counter: ctr})
+	}
+	sort.Slice(st.Predictor, func(i, j int) bool { return st.Predictor[i].PC < st.Predictor[j].PC })
+	return st, nil
+}
+
+// RestoreState replaces the processor's architectural state with the
+// exported one. The processor must be idle (freshly constructed or
+// halted).
+func (p *Proc) RestoreState(st State) error {
+	if len(p.rob) != 0 {
+		return fmt.Errorf("cpu %d: restore with %d in-flight instructions", p.ID, len(p.rob))
+	}
+	if len(st.Regfile) != int(isa.NumRegs) {
+		return fmt.Errorf("cpu %d: snapshot has %d registers, machine has %d", p.ID, len(st.Regfile), isa.NumRegs)
+	}
+	p.pc = st.PC
+	p.fetchResumeAt = st.FetchResumeAt
+	p.haltFetched = st.HaltFetched
+	p.halted = st.Halted
+	p.HaltCycle = st.HaltCycle
+	p.nextID = st.NextID
+	copy(p.regfile[:], st.Regfile)
+	p.rat = [isa.NumRegs]ratEntry{}
+	p.predictor = make(map[int]uint8, len(st.Predictor))
+	for _, e := range st.Predictor {
+		p.predictor[e.PC] = e.Counter
+	}
+	p.Stats.RestoreState(st.Stats)
+	return nil
+}

@@ -25,7 +25,7 @@ type Sweep struct {
 	Jobs func(Params) []runner.Job
 }
 
-// Suite returns the full evaluation suite in DESIGN.md order (E1..E14; E8
+// Suite returns the full evaluation suite in DESIGN.md order (E1..E15; E8
 // is test/bench-only and has no sweep). The job lists of several sweeps
 // can be concatenated and executed on one shared worker pool; rows come
 // back partitioned per sweep because job order is preserved.
@@ -63,6 +63,8 @@ func Suite() []Sweep {
 			func(p Params) []runner.Job { return MSHRSweepJobs([]int{1, 2, 4, 8, 16}) }},
 		{"reissue", "E14", "reissue-only correction vs flush-always (§4.2)",
 			func(p Params) []runner.Job { return ReissueAblationJobs(p.Procs, p.Seed) }},
+		{"warmequal", "E15", "model x technique grid on warmed caches (shared-warmup sweep)",
+			func(p Params) []runner.Job { return WarmedEqualizationJobs() }},
 	}
 }
 

@@ -354,3 +354,38 @@ func TestReissueAblation(t *testing.T) {
 		t.Log(r)
 	}
 }
+
+// TestWarmedEqualization checks E15: on fully warmed caches the measured
+// kernel's misses are the stores' ownership upgrades, so conventional SC
+// (which serializes on them) stays well behind, while both techniques pull
+// SC down to exactly the relaxed-model cycle count — equalization in its
+// sharpest form. The sweep exists to exercise the warmup-snapshot cache:
+// all ten grid points declare the same warmup key.
+func TestWarmedEqualization(t *testing.T) {
+	rows, err := WarmedEqualization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rowsByLabel(rows, "model", "tech")
+	scConv, scBoth := c["SC/conv/"], c["SC/pf+spec/"]
+	rcConv, rcBoth := c["RC/conv/"], c["RC/pf+spec/"]
+	if scConv <= 2*rcConv {
+		t.Errorf("warmed conventional SC (%d) should trail RC (%d) by well over 2x", scConv, rcConv)
+	}
+	if scBoth != rcBoth {
+		t.Errorf("with both techniques SC (%d) should exactly match RC (%d) on warmed caches", scBoth, rcBoth)
+	}
+	keys := map[string]bool{}
+	for _, j := range WarmedEqualizationJobs() {
+		if j.Warmup == nil {
+			t.Fatalf("job %s declares no warmup", j.Name)
+		}
+		keys[j.Warmup.Key] = true
+	}
+	if len(keys) != 1 {
+		t.Errorf("E15 jobs should share one warmup key, got %d distinct keys", len(keys))
+	}
+	for _, r := range rows {
+		t.Log(r)
+	}
+}

@@ -177,7 +177,16 @@ func (ep *Endpoint) DeliverDue(now uint64) {
 	for ep.inbox.Len() > 0 && ep.inbox[0].deliver <= now {
 		m := heap.Pop(&ep.inbox).(*Message)
 		m.enqueued = false
-		ep.ctx = sendKey{cycle: now, phase: PhaseDeliver, major: m.seq}
+		if m.Type == MsgSchedWrite {
+			// An injected self-delivery is the writes phase of this cycle:
+			// sends made while handling it must sort where the sequential
+			// loop sent them — before every frontend/deliver-phase send —
+			// and its injection ordinal cannot collide with the sequence
+			// number of a real message handled elsewhere this cycle.
+			ep.ctx = sendKey{cycle: now, phase: PhaseWrites, major: m.seq}
+		} else {
+			ep.ctx = sendKey{cycle: now, phase: PhaseDeliver, major: m.seq}
+		}
 		ep.Received++
 		ep.handler.HandleMessage(m, now)
 		if m.pooled {
@@ -220,6 +229,10 @@ type Exchange struct {
 	nextSeq uint64
 	scratch []pendingSend
 
+	// nextInject numbers Inject calls; injected messages order among
+	// themselves by this ordinal, never against real sequence numbers.
+	nextInject uint64
+
 	// Exchanged counts messages routed across all barriers.
 	Exchanged uint64
 }
@@ -247,6 +260,34 @@ func (x *Exchange) Endpoint(id NodeID, rank uint64, h Handler) *Endpoint {
 // AttachNode routes an additional node ID to an existing endpoint (a shard
 // that owns several network nodes).
 func (x *Exchange) AttachNode(id NodeID, ep *Endpoint) { x.dest[id] = ep }
+
+// Inject places a copy of proto directly into the destination's inbox for
+// delivery at the given absolute cycle, before the first window runs. This
+// is how a component's self-scheduled future work (the write agent's
+// scheduled external writes) enters the exchange without a special case in
+// the shard loop: the work arrives as an ordinary delivery.
+//
+// Injected messages live outside the global sequence space (they would
+// otherwise skew the counter the sequential engine and the snapshots keep
+// exactly aligned): they carry injection ordinals instead, and the inbox
+// order delivers an injection before any real message due the same cycle —
+// exactly where the sequential loop puts the work, since its writes phase
+// precedes delivery. They are not network traffic either: the
+// MessagesSent/HopsByType counters never see them, and Close discards any
+// still undelivered instead of reinjecting them into the network.
+func (x *Exchange) Inject(proto Message, deliver uint64) {
+	dst, ok := x.dest[proto.Dst]
+	if !ok {
+		panic(fmt.Sprintf("network: injection for unattached node %d", proto.Dst))
+	}
+	m := &Message{}
+	*m = proto
+	m.enqueued = true
+	m.deliver = deliver
+	m.seq = x.nextInject
+	x.nextInject++
+	heap.Push(&dst.inbox, m)
+}
 
 // Barrier merges every outbox into the destination inboxes: sends are
 // sorted by their sequential-order key and receive consecutive global
@@ -308,6 +349,13 @@ func (x *Exchange) Close() {
 		ep.hops = [numMsgTypes]uint64{}
 		for ep.inbox.Len() > 0 {
 			m := heap.Pop(&ep.inbox).(*Message)
+			if m.Type == MsgSchedWrite {
+				// Undelivered injections (error paths only) are dropped,
+				// not reinjected: the writes queue cursor only advances on
+				// delivery, so the system still owns the pending writes and
+				// the network sees the same state a sequential abort leaves.
+				continue
+			}
 			heap.Push(&n.q, m) // deliver/seq/enqueued preserved
 		}
 		n.free = append(n.free, ep.free...)

@@ -55,6 +55,13 @@ const (
 	MsgMemRdResp // memory module -> processor: read data
 	MsgMemWrAck  // memory module -> processor: write performed
 
+	// MsgSchedWrite is an engine-internal self-delivery: the parallel
+	// engine injects one per scheduled external write (Exchange.Inject),
+	// addressed to the write agent at the write's cycle, so the agent's
+	// self-scheduling needs no special case outside the network layer. It
+	// never crosses a real link and is excluded from the traffic counters.
+	MsgSchedWrite
+
 	numMsgTypes // sentinel: sizes the per-type arrays below
 )
 
@@ -71,6 +78,7 @@ var msgTypeNames = [numMsgTypes]string{
 	MsgUpdateAck: "UpdateAck", MsgUpdateDone: "UpdateDone",
 	MsgMemRead: "MemRead", MsgMemWrite: "MemWrite",
 	MsgMemRdResp: "MemRdResp", MsgMemWrAck: "MemWrAck",
+	MsgSchedWrite: "SchedWrite",
 }
 
 func (t MsgType) String() string {
@@ -257,13 +265,20 @@ func (n *Network) NextDelivery() (cycle uint64, ok bool) {
 	return n.q[0].deliver, true
 }
 
-// msgHeap orders messages by (deliver, seq).
+// msgHeap orders messages by (deliver, seq). Engine-internal injections
+// (MsgSchedWrite, found only in Exchange inboxes) carry injection ordinals
+// rather than global sequence numbers and sort before every real message
+// due the same cycle — the sequential loop runs the scheduled-writes phase
+// before delivery.
 type msgHeap []*Message
 
 func (h msgHeap) Len() int { return len(h) }
 func (h msgHeap) Less(i, j int) bool {
 	if h[i].deliver != h[j].deliver {
 		return h[i].deliver < h[j].deliver
+	}
+	if ii, ij := h[i].Type == MsgSchedWrite, h[j].Type == MsgSchedWrite; ii != ij {
+		return ii
 	}
 	return h[i].seq < h[j].seq
 }

@@ -1,0 +1,48 @@
+package network
+
+import "fmt"
+
+// State is the serializable network state at quiescence. With no messages
+// in flight (ExportState refuses otherwise), the only state that outlives
+// a run is the arbitration counter — restoring it keeps every subsequent
+// sequence number, and therefore every delivery order, identical — plus
+// the traffic statistics.
+type State struct {
+	NextSeq      uint64
+	MessagesSent uint64
+	// Hops is HopsByType indexed by MsgType. Its length pins the message
+	// vocabulary of the snapshot's writer; a reader with a different
+	// vocabulary must not reinterpret the counts.
+	Hops []uint64
+}
+
+// ExportState captures the network state. It fails if deliveries are
+// pending: an in-flight message is transient protocol state, and the
+// snapshot layer only deals in quiescent machines.
+func (n *Network) ExportState() (State, error) {
+	if n.q.Len() != 0 {
+		return State{}, fmt.Errorf("network: export with %d pending deliveries", n.q.Len())
+	}
+	st := State{
+		NextSeq:      n.nextSeq,
+		MessagesSent: n.MessagesSent,
+		Hops:         make([]uint64, numMsgTypes),
+	}
+	copy(st.Hops, n.HopsByType[:])
+	return st, nil
+}
+
+// RestoreState replaces the network's persistent state with the exported
+// one. The network must be idle (freshly constructed or quiescent).
+func (n *Network) RestoreState(st State) error {
+	if n.q.Len() != 0 {
+		return fmt.Errorf("network: restore with %d pending deliveries", n.q.Len())
+	}
+	if len(st.Hops) != int(numMsgTypes) {
+		return fmt.Errorf("network: snapshot has %d message types, this build has %d", len(st.Hops), numMsgTypes)
+	}
+	n.nextSeq = st.NextSeq
+	n.MessagesSent = st.MessagesSent
+	copy(n.HopsByType[:], st.Hops)
+	return nil
+}

@@ -63,6 +63,19 @@ func SetWorkerBudget(n int) {
 	budget.mu.Unlock()
 }
 
+// AddWorkerBudget releases n extra worker goroutines into (or, negative,
+// withdraws them from) the shared budget. Unlike SetWorkerBudget it is
+// safe while simulations run: cmd/sweep's job workers call it as the job
+// queue drains, so the tail of a sweep hands its idle CPU share to the
+// shard engines of the simulations still running. Engines already past
+// their acquire keep their current workers; the released share benefits
+// engines that start (or would have acquired less) afterwards.
+func AddWorkerBudget(n int) {
+	budget.mu.Lock()
+	budget.free = maxInt(budget.free+n, 0)
+	budget.mu.Unlock()
+}
+
 func acquireExtra(want int) int {
 	if want <= 0 {
 		return 0
@@ -152,6 +165,10 @@ func Run(s *sim.System, par int) (halt uint64, handled bool, err error) {
 		e.eps[i] = e.x.Endpoint(sh.NodeID(), sh.Rank(), sh.Handler())
 		sh.BindPort(e.eps[i])
 	}
+	// Scheduled external writes become injected self-deliveries to the
+	// agent shard: its window loop is then pure delivery, with no
+	// special-case peek at the write queue.
+	s.InjectScheduledWrites(e.x)
 	extra := acquireExtra(minInt(par, len(shards)) - 1)
 	e.workers = 1 + extra
 	for k := 0; k < extra; k++ {

@@ -28,6 +28,12 @@ type Job struct {
 	// jobs that assemble the system inside Run; then Run receives nil.
 	Configure func() (*sim.System, error)
 
+	// Warmup, when non-nil, replaces Configure with a declared warmup the
+	// pool can deduplicate: jobs with equal Warmup.Key share one simulated
+	// warmup through the snapshot cache (Options.WarmupCache). Without a
+	// cache the warmup is simulated per job, exactly like Configure.
+	Warmup *WarmupSpec
+
 	// Run drives the configured system to completion and returns the
 	// measurement row. It must be non-nil.
 	Run func(s *sim.System) (Row, error)
@@ -64,6 +70,20 @@ type Options struct {
 	// which is not deterministic; anything order-sensitive should read
 	// the returned results instead.
 	OnProgress func(Progress)
+
+	// WarmupCache, if non-nil, deduplicates declared warmups (Job.Warmup)
+	// across the run's jobs: each distinct key is simulated once and every
+	// job restores a private machine from its snapshot. Results are
+	// byte-identical with and without a cache (`make differential` gates
+	// this); nil simply re-simulates each job's warmup.
+	WarmupCache *WarmupCache
+
+	// OnWorkerIdle, if non-nil, is called once by each worker goroutine
+	// when it finds the job queue closed and drained — the hook cmd/sweep
+	// uses to release the idle worker's CPU share into the shard engines'
+	// goroutine budget (parsim.AddWorkerBudget) for the simulations still
+	// running at the sweep's tail.
+	OnWorkerIdle func()
 }
 
 // Run executes the jobs on a bounded worker pool and returns one Result
@@ -88,8 +108,11 @@ func Run(jobs []Job, opts Options) []Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobCh {
-				results[i] = runOne(jobs[i])
+				results[i] = runOne(jobs[i], opts.WarmupCache)
 				doneCh <- i
+			}
+			if opts.OnWorkerIdle != nil {
+				opts.OnWorkerIdle()
 			}
 		}()
 	}
@@ -116,7 +139,7 @@ func Run(jobs []Job, opts Options) []Result {
 }
 
 // runOne executes a single job with panic containment.
-func runOne(j Job) (res Result) {
+func runOne(j Job, cache *WarmupCache) (res Result) {
 	start := time.Now()
 	res.Name = j.Name
 	defer func() {
@@ -126,7 +149,14 @@ func runOne(j Job) (res Result) {
 		}
 	}()
 	var s *sim.System
-	if j.Configure != nil {
+	switch {
+	case j.Warmup != nil:
+		var err error
+		if s, err = configureWarm(j.Warmup, cache); err != nil {
+			res.Err = err
+			return
+		}
+	case j.Configure != nil:
 		var err error
 		if s, err = j.Configure(); err != nil {
 			res.Err = err

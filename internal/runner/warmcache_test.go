@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+)
+
+// warmJob is a job whose warmup runs Example 1's producer and whose
+// measured phase is empty; builds is incremented each time the warmup is
+// actually simulated rather than served from the cache.
+func warmJob(name, key string, builds *atomic.Int64) Job {
+	return Job{
+		Name: name,
+		Warmup: &WarmupSpec{
+			Key: key,
+			Build: func() (*sim.System, error) {
+				builds.Add(1)
+				b := isa.NewBuilder()
+				b.Li(isa.R2, 1)
+				b.StoreAbs(isa.R2, 0x110)
+				b.Halt()
+				cfg := sim.PaperConfig()
+				cfg.Model = core.SC
+				s := sim.New(cfg, []*isa.Program{b.Build()})
+				if _, err := s.Run(); err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+			Finish: func(s *sim.System) error {
+				b := isa.NewBuilder()
+				b.LoadAbs(isa.R1, 0x110)
+				b.Halt()
+				s.LoadPrograms([]*isa.Program{b.Build()})
+				return nil
+			},
+		},
+		Run: func(s *sim.System) (Row, error) {
+			cycles, err := s.Run()
+			if err != nil {
+				return Row{}, err
+			}
+			return Row{Labels: map[string]string{"job": name}, Cycles: cycles}, nil
+		},
+	}
+}
+
+// TestWarmupCacheSingleflight saturates a pool with jobs sharing two warmup
+// keys and requires each key to be simulated exactly once no matter how
+// many workers race for it, with every job's measurement intact. Run under
+// -race this also proves the cache's synchronization.
+func TestWarmupCacheSingleflight(t *testing.T) {
+	var builds atomic.Int64
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("key%d", i%2)
+		jobs = append(jobs, warmJob(fmt.Sprintf("warm/%d", i), key, &builds))
+	}
+	cache := NewWarmupCache()
+	rows, err := Rows(Run(jobs, Options{Workers: 8, WarmupCache: cache}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Errorf("simulated %d warmups for 2 distinct keys, want 2", got)
+	}
+	hits, misses := cache.Stats()
+	if misses != 2 || hits != 14 {
+		t.Errorf("cache stats: hits=%d misses=%d, want 14/2", hits, misses)
+	}
+	for i, r := range rows {
+		if r.Cycles == 0 || r.Cycles != rows[0].Cycles {
+			t.Errorf("row %d: cycles=%d, want every job to measure the same nonzero phase (%d)", i, r.Cycles, rows[0].Cycles)
+		}
+	}
+
+	// Without a cache the same jobs simulate every warmup themselves.
+	builds.Store(0)
+	if _, err := Rows(Run(jobs, Options{Workers: 8})); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 16 {
+		t.Errorf("uncached run simulated %d warmups, want 16", got)
+	}
+}
+
+// TestWarmupCacheBuildError pins the failure path: a warmup whose Build
+// fails must fail every job sharing the key (the error is cached, not
+// retried) without wedging waiting workers.
+func TestWarmupCacheBuildError(t *testing.T) {
+	sentinel := errors.New("warmup exploded")
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("bad/%d", i),
+			Warmup: &WarmupSpec{
+				Key:    "badkey",
+				Build:  func() (*sim.System, error) { return nil, sentinel },
+				Finish: func(*sim.System) error { return nil },
+			},
+			Run: func(*sim.System) (Row, error) { return Row{}, nil },
+		})
+	}
+	results := Run(jobs, Options{Workers: 4, WarmupCache: NewWarmupCache()})
+	for _, r := range results {
+		if !errors.Is(r.Err, sentinel) {
+			t.Errorf("%s: err=%v, want the warmup error", r.Name, r.Err)
+		}
+	}
+}

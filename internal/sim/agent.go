@@ -16,6 +16,7 @@ type agent struct {
 	homes []network.NodeID
 	net   network.Port
 	geom  memsys.Geometry
+	sys   *System // owner; the scheduled-write queue lives there
 
 	outstanding int // writes awaiting UpdateDone
 }
@@ -43,14 +44,21 @@ func (a *agent) write(w ScheduledWrite, now uint64) {
 // idle reports whether all injected writes have completed at the directory.
 func (a *agent) idle() bool { return a.outstanding == 0 }
 
-// HandleMessage implements network.Handler: the agent only needs to count
-// completions; invalidation acks from sharers are informational.
+// HandleMessage implements network.Handler: the agent counts completions
+// (invalidation acks from sharers are informational) and, under the
+// parallel engine, performs scheduled writes when their injected
+// self-deliveries arrive (System.InjectScheduledWrites). Injections are
+// delivered in schedule order, so the queue cursor just advances.
 func (a *agent) HandleMessage(m *network.Message, now uint64) {
 	switch m.Type {
 	case network.MsgUpdateDone:
 		a.outstanding--
 	case network.MsgInvAck, network.MsgUpdateAck:
 		// Sharers acknowledging; nothing to do.
+	case network.MsgSchedWrite:
+		s := a.sys
+		a.write(s.writes[s.nextWrite], now)
+		s.nextWrite++
 	default:
 		panic("agent: unexpected message " + m.Type.String())
 	}

@@ -133,12 +133,9 @@ func (sh *NodeShard) BindPort(p network.Port) {
 func (sh *NodeShard) StepCycle(now uint64, ep *network.Endpoint) {
 	switch sh.kind {
 	case shardAgent:
-		s := sh.sys
-		ep.SetPhase(now, network.PhaseWrites)
-		for s.nextWrite < len(s.writes) && s.writes[s.nextWrite].Cycle <= now {
-			s.agent.write(s.writes[s.nextWrite], now)
-			s.nextWrite++
-		}
+		// Scheduled writes arrive as injected self-deliveries
+		// (InjectScheduledWrites), so the agent shard is pure delivery like
+		// every other shard.
 		ep.DeliverDue(now)
 	case shardDir:
 		ep.SetPhase(now, network.PhaseDeliver)
@@ -177,11 +174,6 @@ func (sh *NodeShard) NextEvent(now uint64, ep *network.Endpoint) (uint64, bool) 
 		}
 	}
 	switch sh.kind {
-	case shardAgent:
-		s := sh.sys
-		if s.nextWrite < len(s.writes) {
-			fold(s.writes[s.nextWrite].Cycle, true)
-		}
 	case shardDir:
 		fold(sh.dir.NextWake(now))
 	case shardProc:
@@ -202,7 +194,22 @@ func (sh *NodeShard) Quiescent() bool {
 	case shardDir:
 		return sh.dir.Quiescent()
 	default:
-		return sh.sys.agent.idle() && sh.sys.nextWrite >= len(sh.sys.writes)
+		// Writes not yet performed sit in the agent's inbox as injected
+		// self-deliveries, so the exchange's pending count covers them.
+		return sh.sys.agent.idle()
+	}
+}
+
+// InjectScheduledWrites hands every not-yet-performed scheduled write to
+// the exchange as a self-delivery to the agent's node at the write's
+// cycle (in queue order, which injection ordinals preserve). The queue
+// cursor advances only when the agent handles each delivery, and
+// Exchange.Close discards undelivered injections — so an engine teardown
+// on an error path leaves the remaining writes exactly where the
+// sequential loop expects them.
+func (s *System) InjectScheduledWrites(x *network.Exchange) {
+	for _, w := range s.writes[s.nextWrite:] {
+		x.Inject(network.Message{Type: network.MsgSchedWrite, Src: s.agent.id, Dst: s.agent.id}, w.Cycle)
 	}
 }
 

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmsim/internal/isa"
+	"mcmsim/internal/snapshot"
+)
+
+// Snapshot serializes the machine's complete state. It requires
+// quiescence (Done): at that point every transient structure — in-flight
+// messages, MSHRs, recall transactions, reorder buffers, store buffers,
+// speculative-load buffers, pending scheduled writes — is provably empty,
+// so the captured vector (memory image, cache arrays, directory state,
+// architectural registers, clocks and counters, statistics) is the whole
+// machine. Restore rebuilds a system that is byte-identical to this one
+// for every subsequent output.
+func (s *System) Snapshot() (*snapshot.Machine, error) {
+	if !s.Done() {
+		return nil, fmt.Errorf("sim: snapshot requires a quiescent machine (all processors halted, queues drained)")
+	}
+	m := &snapshot.Machine{
+		Config:        exportConfig(s.Cfg),
+		Cycle:         s.Cycle,
+		BaseCycle:     s.baseCycle,
+		FastForwarded: s.FastForwarded,
+		Mem:           s.Mem.ExportState(),
+	}
+	var err error
+	if m.Net, err = s.Net.ExportState(); err != nil {
+		return nil, err
+	}
+	for _, d := range s.Dirs {
+		st, err := d.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		m.Dirs = append(m.Dirs, st)
+	}
+	for _, c := range s.Caches {
+		st, err := c.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		m.Caches = append(m.Caches, st)
+	}
+	for i, p := range s.Procs {
+		cpuSt, err := p.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		m.Procs = append(m.Procs, snapshot.ProcState{
+			Prog: exportProgram(p.Program()),
+			CPU:  cpuSt,
+			LSU:  s.LSUs[i].Stats.ExportState(),
+		})
+	}
+	return m, nil
+}
+
+// Restore builds a fresh System from a snapshot. The restored machine is
+// quiescent at the snapshot's cycle, running the snapshot's programs (all
+// halted); continue it exactly like the original — LoadPrograms for the
+// next phase, ScheduleWrites, Run. Restore never mutates or aliases the
+// Machine, so many systems may be restored concurrently from one snapshot
+// (the warmup cache does exactly that).
+func Restore(m *snapshot.Machine) (*System, error) {
+	cfg := importConfig(m.Config)
+	if len(m.Procs) != cfg.Procs {
+		return nil, fmt.Errorf("sim: snapshot has %d processor states for %d processors", len(m.Procs), cfg.Procs)
+	}
+	progs := make([]*isa.Program, cfg.Procs)
+	for i := range m.Procs {
+		progs[i] = importProgram(m.Procs[i].Prog)
+	}
+	s := New(cfg, progs)
+	if err := s.Net.RestoreState(m.Net); err != nil {
+		return nil, err
+	}
+	if err := s.Mem.RestoreState(m.Mem); err != nil {
+		return nil, err
+	}
+	if len(m.Dirs) != len(s.Dirs) {
+		return nil, fmt.Errorf("sim: snapshot has %d home modules for %d", len(m.Dirs), len(s.Dirs))
+	}
+	for i, d := range s.Dirs {
+		if err := d.RestoreState(m.Dirs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.Caches) != len(s.Caches) {
+		return nil, fmt.Errorf("sim: snapshot has %d caches for %d", len(m.Caches), len(s.Caches))
+	}
+	for i, c := range s.Caches {
+		if err := c.RestoreState(m.Caches[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, p := range s.Procs {
+		if err := p.RestoreState(m.Procs[i].CPU); err != nil {
+			return nil, err
+		}
+		s.LSUs[i].Stats.RestoreState(m.Procs[i].LSU)
+	}
+	s.Cycle = m.Cycle
+	s.baseCycle = m.BaseCycle
+	s.FastForwarded = m.FastForwarded
+	return s, nil
+}
+
+// exportConfig converts the live configuration to the snapshot's map-free
+// mirror.
+func exportConfig(c Config) snapshot.Config {
+	out := snapshot.Config{
+		Procs:           c.Procs,
+		Model:           c.Model,
+		Tech:            c.Tech,
+		Protocol:        c.Protocol,
+		LineWords:       c.LineWords,
+		NetLatency:      c.NetLatency,
+		MemLatency:      c.MemLatency,
+		Cache:           c.Cache,
+		CPU:             c.CPU,
+		ForwardLatency:  c.ForwardLatency,
+		MaxAddrPerCycle: c.MaxAddrPerCycle,
+		NST:             c.NST,
+		MemModules:      c.MemModules,
+		DirBandwidth:    c.DirBandwidth,
+		MaxCycles:       c.MaxCycles,
+		DenseLoop:       c.DenseLoop,
+	}
+	for a, on := range c.UncachedRMW {
+		if on {
+			out.UncachedRMW = append(out.UncachedRMW, a)
+		}
+	}
+	sort.Slice(out.UncachedRMW, func(i, j int) bool { return out.UncachedRMW[i] < out.UncachedRMW[j] })
+	return out
+}
+
+func importConfig(c snapshot.Config) Config {
+	out := Config{
+		Procs:           c.Procs,
+		Model:           c.Model,
+		Tech:            c.Tech,
+		Protocol:        c.Protocol,
+		LineWords:       c.LineWords,
+		NetLatency:      c.NetLatency,
+		MemLatency:      c.MemLatency,
+		Cache:           c.Cache,
+		CPU:             c.CPU,
+		ForwardLatency:  c.ForwardLatency,
+		MaxAddrPerCycle: c.MaxAddrPerCycle,
+		NST:             c.NST,
+		MemModules:      c.MemModules,
+		DirBandwidth:    c.DirBandwidth,
+		MaxCycles:       c.MaxCycles,
+		DenseLoop:       c.DenseLoop,
+	}
+	if len(c.UncachedRMW) > 0 {
+		out.UncachedRMW = make(map[uint64]bool, len(c.UncachedRMW))
+		for _, a := range c.UncachedRMW {
+			out.UncachedRMW[a] = true
+		}
+	}
+	return out
+}
+
+func exportProgram(p *isa.Program) snapshot.ProgramState {
+	st := snapshot.ProgramState{Instrs: make([]isa.Instruction, len(p.Instrs))}
+	copy(st.Instrs, p.Instrs)
+	for name, target := range p.Labels {
+		st.Labels = append(st.Labels, snapshot.Label{Name: name, Target: target})
+	}
+	sort.Slice(st.Labels, func(i, j int) bool { return st.Labels[i].Name < st.Labels[j].Name })
+	return st
+}
+
+func importProgram(st snapshot.ProgramState) *isa.Program {
+	p := &isa.Program{Instrs: make([]isa.Instruction, len(st.Instrs))}
+	copy(p.Instrs, st.Instrs)
+	if len(st.Labels) > 0 {
+		p.Labels = make(map[string]int, len(st.Labels))
+		for _, l := range st.Labels {
+			p.Labels[l.Name] = l.Target
+		}
+	}
+	return p
+}

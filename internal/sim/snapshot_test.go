@@ -1,0 +1,180 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/snapshot"
+
+	// Registers the parallel engine so the par variants actually shard.
+	_ "mcmsim/internal/parsim"
+)
+
+// snapTechniques extends the fast-forward grid with the Adve-Hill
+// comparator, so the round trip covers every store-side path the
+// experiments exercise.
+var snapTechniques = []struct {
+	name string
+	tech core.Technique
+}{
+	{"conv", core.Technique{}},
+	{"pf", core.Technique{Prefetch: true}},
+	{"spec", core.Technique{SpecLoad: true, ReissueOpt: true}},
+	{"pf+spec", core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}},
+	{"advehill", core.Technique{AdveHill: true}},
+}
+
+// snapEngines are the execution engines a snapshot must be exact under:
+// the dense every-cycle loop, the fast-forward scheduler, and the parallel
+// shard engine at two worker counts.
+var snapEngines = []struct {
+	name  string
+	dense bool
+	par   int
+}{
+	{"dense", true, 1},
+	{"ff", false, 1},
+	{"par2", false, 2},
+	{"par4", false, 4},
+}
+
+// TestSnapshotRoundTrip is the differential gate for machine snapshots:
+// across the full model x technique grid under every execution engine, a
+// machine serialized at quiescence and restored must be indistinguishable
+// from the original for every subsequent observation. Concretely, for each
+// configuration it checks that
+//
+//   - the snapshot survives an encode/decode/re-encode cycle byte-identically
+//     (the gob image is canonical: no map iteration order leaks in),
+//   - re-snapshotting the restored machine reproduces the original bytes
+//     (restore loses nothing the snapshot captures), and
+//   - loading a second program phase into the original and the restored
+//     machine yields identical halt cycles, statistics reports and coherent
+//     memory images (restore loses nothing the snapshot doesn't capture
+//     either — transient state is provably empty at quiescence).
+func TestSnapshotRoundTrip(t *testing.T) {
+	defer func(d bool, p int) { sim.ForceDense, sim.ParWorkers = d, p }(sim.ForceDense, sim.ParWorkers)
+	for _, eng := range snapEngines {
+		for _, m := range core.AllModels {
+			for _, tc := range snapTechniques {
+				t.Run(fmt.Sprintf("%s/%v/%s", eng.name, m, tc.name), func(t *testing.T) {
+					sim.ForceDense = eng.dense
+					sim.ParWorkers = eng.par
+
+					cfg := sim.RealisticConfig()
+					cfg.Procs = 3
+					cfg.Model = m
+					cfg.Tech = tc.tech
+
+					phase1, phase2 := mixProgs(3, 7), mixProgs(3, 11)
+					s1 := sim.New(cfg, phase1)
+					if _, err := s1.Run(); err != nil {
+						t.Fatalf("phase 1: %v", err)
+					}
+					snap, err := s1.Snapshot()
+					if err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+
+					var buf1 bytes.Buffer
+					if err := snapshot.Write(&buf1, snap); err != nil {
+						t.Fatalf("encode: %v", err)
+					}
+					decoded, err := snapshot.Read(bytes.NewReader(buf1.Bytes()))
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					var buf2 bytes.Buffer
+					if err := snapshot.Write(&buf2, decoded); err != nil {
+						t.Fatalf("re-encode: %v", err)
+					}
+					if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+						t.Fatal("snapshot is not canonical: encode/decode/re-encode changed the bytes")
+					}
+
+					s2, err := sim.Restore(decoded)
+					if err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					resnap, err := s2.Snapshot()
+					if err != nil {
+						t.Fatalf("re-snapshot: %v", err)
+					}
+					var buf3 bytes.Buffer
+					if err := snapshot.Write(&buf3, resnap); err != nil {
+						t.Fatalf("re-encode restored: %v", err)
+					}
+					if !bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+						t.Fatal("restored machine snapshots differently than the original")
+					}
+
+					run2 := func(s *sim.System) (uint64, string, map[uint64]int64) {
+						s.LoadPrograms(phase2)
+						cycles, err := s.Run()
+						if err != nil {
+							t.Fatalf("phase 2: %v", err)
+						}
+						return cycles, s.StatsReport(), s.CoherentSnapshot()
+					}
+					c1, stats1, mem1 := run2(s1)
+					c2, stats2, mem2 := run2(s2)
+					if c1 != c2 {
+						t.Errorf("phase-2 halt cycle: original=%d restored=%d", c1, c2)
+					}
+					if stats1 != stats2 {
+						t.Errorf("phase-2 stats reports differ:\n--- original ---\n%s--- restored ---\n%s", stats1, stats2)
+					}
+					if !reflect.DeepEqual(mem1, mem2) {
+						t.Errorf("phase-2 memory images differ")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotFileRoundTrip covers the file envelope (magic and version
+// validation) used by mcsim -save-state/-load-state.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	s := sim.New(cfg, mixProgs(3, 7))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/machine.snap"
+	if err := snapshot.WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sim.Restore(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadPrograms(mixProgs(3, 11))
+	s2.LoadPrograms(mixProgs(3, 11))
+	c1, err1 := s.Run()
+	c2, err2 := s2.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v / %v", err1, err2)
+	}
+	if c1 != c2 {
+		t.Errorf("halt cycle after file round trip: original=%d restored=%d", c1, c2)
+	}
+
+	if _, err := snapshot.Read(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Error("Read accepted garbage input")
+	}
+}

@@ -1,0 +1,165 @@
+// Package snapshot defines the exact serialized form of a quiescent
+// simulated machine and its gob-based persistence.
+//
+// A snapshot is only ever taken at quiescence (sim.System.Snapshot refuses
+// otherwise), which is what makes it exact with a small state vector: when
+// every processor has halted and every queue drained, all transient
+// machine state — in-flight messages, MSHRs, scheduled completions,
+// reorder-buffer entries, speculative-load buffers, store buffers, recall
+// transactions — is provably empty, so the machine reduces to its
+// architectural state (memory image, cache arrays, directory sharing
+// vectors and version counters, registers and program counters), its
+// monotonic counters (clock, network arbitration sequence, instruction
+// IDs, LRU clocks), and its statistics. Restoring that vector into a
+// freshly constructed machine reproduces every subsequent observable —
+// stats reports, memory images, sweep rows, conformance verdicts — byte
+// for byte, under the dense loop, the fast-forward scheduler and the
+// parallel engine alike (the differential tests enforce this).
+//
+// Encoding is deterministic: no Go map appears anywhere in the serialized
+// types (gob iterates maps in random order), every keyed collection is a
+// slice sorted by its key, and identical machines therefore encode to
+// identical bytes.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mcmsim/internal/cache"
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/cpu"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/memsys"
+	"mcmsim/internal/network"
+	"mcmsim/internal/stats"
+)
+
+// FormatVersion identifies the snapshot layout. Readers reject snapshots
+// written by a different version instead of misinterpreting them.
+const FormatVersion = 1
+
+// magic guards against feeding arbitrary gob streams to Read.
+const magic = "mcmsim-snapshot"
+
+// Config mirrors sim.Config in a map-free, deterministic form. (The sim
+// package converts to and from this; snapshot cannot import sim.)
+type Config struct {
+	Procs     int
+	Model     core.Model
+	Tech      core.Technique
+	Protocol  coherence.Protocol
+	LineWords uint64
+
+	NetLatency uint64
+	MemLatency uint64
+
+	Cache cache.Config
+	CPU   cpu.Config
+
+	ForwardLatency  uint64
+	MaxAddrPerCycle int
+	NST             bool
+	UncachedRMW     []uint64 // ascending; the enabled addresses only
+
+	MemModules   int
+	DirBandwidth int
+	MaxCycles    uint64
+	DenseLoop    bool
+}
+
+// Label is one program label (the isa.Program Labels map, sorted by name).
+type Label struct {
+	Name   string
+	Target int
+}
+
+// ProgramState is one processor's program.
+type ProgramState struct {
+	Instrs []isa.Instruction
+	Labels []Label
+}
+
+// ProcState bundles one processor's serialized state: its program, its
+// pipeline-architectural state, and its load/store unit's statistics (the
+// LSU drains completely at quiescence; only its metrics persist).
+type ProcState struct {
+	Prog ProgramState
+	CPU  cpu.State
+	LSU  stats.State
+}
+
+// Machine is the complete serialized state of a quiescent machine.
+type Machine struct {
+	Config Config
+
+	Cycle         uint64
+	BaseCycle     uint64
+	FastForwarded uint64
+
+	Net    network.State
+	Mem    memsys.State
+	Dirs   []coherence.State
+	Caches []cache.SavedState
+	Procs  []ProcState
+}
+
+// envelope is the on-disk framing: magic and version first, so Read can
+// reject foreign or stale streams before decoding the machine.
+type envelope struct {
+	Magic   string
+	Version int
+	Machine Machine
+}
+
+// Write encodes the machine to w.
+func Write(w io.Writer, m *Machine) error {
+	return gob.NewEncoder(w).Encode(envelope{Magic: magic, Version: FormatVersion, Machine: *m})
+}
+
+// Read decodes a machine from r, validating the framing.
+func Read(r io.Reader) (*Machine, error) {
+	var e envelope
+	if err := gob.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if e.Magic != magic {
+		return nil, fmt.Errorf("snapshot: not a machine snapshot (magic %q)", e.Magic)
+	}
+	if e.Version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: format version %d, this build reads %d", e.Version, FormatVersion)
+	}
+	return &e.Machine, nil
+}
+
+// WriteFile encodes the machine to a file.
+func WriteFile(path string, m *Machine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := Write(bw, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a machine from a file.
+func ReadFile(path string) (*Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
