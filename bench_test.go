@@ -19,6 +19,7 @@ import (
 	"mcmsim/internal/core"
 	"mcmsim/internal/experiments"
 	"mcmsim/internal/isa"
+	"mcmsim/internal/machine"
 	"mcmsim/internal/runner"
 	"mcmsim/internal/sim"
 	"mcmsim/internal/workload"
@@ -470,3 +471,52 @@ func BenchmarkReissueOpt(b *testing.B) {
 	}
 	b.ReportMetric(ratio, "flush:reissue")
 }
+
+// benchmarkMesh regenerates one machine size of experiment E16: a
+// builder-assembled mesh multiprocessor running the machine-wide sharing
+// workload under the boundary configurations. ns/op is the simulator's
+// cost per many-core run (the scaling burden the mesh network and
+// limited-pointer directory must keep affordable); the cycles metric is
+// the architectural result.
+func benchmarkMesh(b *testing.B, cpus int) {
+	rounds := 4
+	if cpus >= 32 {
+		rounds = 2
+	}
+	progs := make([]*isa.Program, cpus)
+	for p := 0; p < cpus; p++ {
+		progs[p] = workload.WideSharing(p, cpus, 4, rounds)
+	}
+	for _, pt := range []struct {
+		m core.Model
+		t core.Technique
+	}{
+		{core.SC, experiments.TechConv},
+		{core.SC, experiments.TechBoth},
+		{core.RC, experiments.TechBoth},
+	} {
+		b.Run(fmt.Sprintf("%v/%v", pt.m, pt.t), func(b *testing.B) {
+			cfg, err := machine.New().
+				CPUs(cpus).
+				Topology("mesh").
+				Model(pt.m).
+				Technique(pt.t).
+				Config()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s := sim.New(cfg, progs)
+				cycles, err = s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+func BenchmarkMesh16(b *testing.B) { benchmarkMesh(b, 16) }
+func BenchmarkMesh64(b *testing.B) { benchmarkMesh(b, 64) }

@@ -9,6 +9,7 @@
 //
 //	conform -seed 1 -n 256        check 256 programs from seed 1
 //	conform -procs 3 -ops 4       force 3 processors, up to 4 ops each
+//	conform -cpus 16 -topo mesh   run every cell on a padded 16-CPU mesh
 //
 // Flags:
 //
@@ -16,6 +17,9 @@
 //	-n N      number of programs
 //	-procs N  processors per program (0 = random 2-3)
 //	-ops N    max ops per processor (0 = default 5)
+//	-cpus N   pad the machine to N processors (extra CPUs halt at once;
+//	          the oracle stays on the program's own processors)
+//	-topo T   interconnect: uniform (default), mesh, or mesh:WxH
 //	-j N      worker-pool size (<=0 means all CPUs)
 //	-par N    shard each simulation across up to N goroutines
 //	-quick    paper timing only (the fuzz target's reduced grid)
@@ -47,9 +51,21 @@ func main() {
 		jobs  = flag.Int("j", runtime.NumCPU(), "worker-pool size (<=0 means all CPUs)")
 		par   = flag.Int("par", 1, "shard each simulation across up to N goroutines (verdicts are identical for every N)")
 		quick = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
+		cpus  = flag.Int("cpus", 0, "pad the machine to this many processors (extra CPUs halt immediately; 0 = program size)")
+		topo  = flag.String("topo", "", "interconnect for every cell: uniform (default), mesh, or mesh:WxH")
 		quiet = flag.Bool("quiet", false, "suppress progress on stderr")
 	)
 	flag.Parse()
+	if *topo != "" {
+		machineCPUs := *cpus
+		if machineCPUs < 2 {
+			machineCPUs = 2 // smallest generated program
+		}
+		if err := sim.ValidateTopo(*topo, machineCPUs); err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			os.Exit(2)
+		}
+	}
 	sim.ParWorkers = *par
 	if *par > 1 {
 		// Batch workers and shard workers share the machine; the shard pool
@@ -63,7 +79,7 @@ func main() {
 	}
 
 	params := conformance.Params{Procs: *procs, ProcOps: *ops}
-	opts := conformance.CheckOptions{Quick: *quick}
+	opts := conformance.CheckOptions{Quick: *quick, CPUs: *cpus, Topo: *topo}
 
 	progress := func(done, total int) {
 		fmt.Fprintf(os.Stderr, "\rconform: %d/%d programs", done, total)

@@ -9,6 +9,7 @@
 //	mcsim -workload example2 -model RC -prefetch -spec
 //	mcsim -workload critical -procs 4 -model WC -prefetch -stats
 //	mcsim -workload mix -procs 3 -model SC -spec -prefetch -miss 200
+//	mcsim -workload wide -cpus 64 -topo mesh -model RC -prefetch -spec -stats
 //
 // A warmed machine can be saved once and measured many times: -save-state
 // snapshots the machine right after the workload's warmup phase (or after
@@ -40,9 +41,13 @@ import (
 
 func main() {
 	var (
-		wl        = flag.String("workload", "example1", "workload: example1, example2, critical, producer, mix, array, swprefetch, barrier, falseshare")
+		wl        = flag.String("workload", "example1", "workload: example1, example2, critical, producer, mix, array, swprefetch, barrier, falseshare, wide")
 		model     = flag.String("model", "SC", "consistency model: SC, PC, WC, RC")
 		procs     = flag.Int("procs", 0, "processor count (0 = workload default)")
+		topo      = flag.String("topo", "", "interconnect: uniform (default), mesh (auto-sized), or mesh:WxH")
+		hoplat    = flag.Uint64("hoplat", 0, "mesh per-hop latency in cycles (0 = default 10)")
+		linkgap   = flag.Uint64("linkgap", 0, "mesh per-link occupancy per message in cycles (0 = default 1)")
+		dirptrs   = flag.Int("dirptrs", 0, "directory exact-pointer capacity with coarse-vector overflow (0 = full bit-vector)")
 		prefetch  = flag.Bool("prefetch", false, "enable hardware non-binding prefetch (§3)")
 		spec      = flag.Bool("spec", false, "enable speculative loads (§4)")
 		reissue   = flag.Bool("reissue", true, "with -spec: reissue-only correction for undone loads")
@@ -65,6 +70,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the measured phase only)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	flag.IntVar(procs, "cpus", 0, "alias for -procs")
 	flag.Parse()
 
 	sim.ForceDense = *dense
@@ -95,12 +101,30 @@ func main() {
 	cfg.NST = *nst
 	cfg.MemModules = *modules
 	cfg.DirBandwidth = *dirBW
+	cfg.Topo = *topo
+	cfg.HopLatency = *hoplat
+	cfg.LinkGap = *linkgap
+	cfg.DirPointers = *dirptrs
 	if *update {
 		cfg.Protocol = coherence.ProtoUpdate
 	}
 
 	progs, warmups, preload, check := buildWorkload(*wl, *procs, *seed)
 	cfg.Procs = len(progs)
+	if err := sim.ValidateTopo(cfg.Topo, cfg.Procs); err != nil {
+		fatal(err)
+	}
+	if sim.IsMeshTopo(cfg.Topo) {
+		// Normalize now so the run header and snapshot-conflict checks name
+		// the concrete geometry.
+		w, h, _ := sim.MeshDims(cfg.Topo, cfg.Procs)
+		cfg.Topo = fmt.Sprintf("mesh:%dx%d", w, h)
+		if *modules == 1 && !flagSet("modules") {
+			// Mesh machines distribute memory DASH-style unless -modules
+			// was given explicitly.
+			cfg.MemModules = cfg.Procs
+		}
+	}
 
 	if *disasm {
 		for i, p := range progs {
@@ -150,8 +174,12 @@ func main() {
 	if *saveState != "" && !savedPostWarmup {
 		writeState(s, *saveState)
 	}
-	fmt.Printf("workload=%s model=%v tech=%v protocol=%v miss=%d procs=%d\n",
-		*wl, m, cfg.Tech, cfg.Protocol, cfg.MissLatency(), cfg.Procs)
+	topoName := s.Cfg.Topo
+	if topoName == "" {
+		topoName = "uniform"
+	}
+	fmt.Printf("workload=%s model=%v tech=%v protocol=%v miss=%d procs=%d topo=%s\n",
+		*wl, m, cfg.Tech, cfg.Protocol, cfg.MissLatency(), cfg.Procs, topoName)
 	fmt.Printf("cycles: %d\n", cycles)
 	if *detectSC {
 		var det uint64
@@ -239,6 +267,16 @@ func buildWorkload(name string, procs int, seed int64) (progs, warmups []*isa.Pr
 			ps[p] = workload.FalseSharing(p, 8)
 		}
 		return ps, nil, nil, nil
+	case "wide":
+		// Machine-wide read sharing with rotating writers — the scale
+		// workload: every CPU becomes a sharer of every hot line, so an
+		// invalidation fans out across the whole machine (E16).
+		n := def(16)
+		ps := make([]*isa.Program, n)
+		for p := 0; p < n; p++ {
+			ps[p] = workload.WideSharing(p, n, 4, 4)
+		}
+		return ps, nil, nil, nil
 	default:
 		fatal(fmt.Errorf("unknown workload %q", name))
 		return nil, nil, nil, nil
@@ -280,6 +318,10 @@ func restoreState(path string, cfg sim.Config, nprogs int) *sim.System {
 		"nst":       s.Cfg.NST != cfg.NST,
 		"realistic": s.Cfg.Cache != cfg.Cache || s.Cfg.CPU != cfg.CPU,
 	}
+	conflicts["topo"] = s.Cfg.Topo != cfg.Topo
+	conflicts["hoplat"] = s.Cfg.HopLatency != cfg.HopLatency
+	conflicts["linkgap"] = s.Cfg.LinkGap != cfg.LinkGap
+	conflicts["dirptrs"] = s.Cfg.DirPointers != cfg.DirPointers
 	flag.Visit(func(f *flag.Flag) {
 		if conflicts[f.Name] {
 			fatal(fmt.Errorf("load-state: -%s conflicts with the machine saved in %s", f.Name, path))
@@ -289,6 +331,17 @@ func restoreState(path string, cfg sim.Config, nprogs int) *sim.System {
 		fatal(fmt.Errorf("load-state: snapshot has %d processors, workload builds %d programs", s.Cfg.Procs, nprogs))
 	}
 	return s
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

@@ -5,7 +5,11 @@
 //	paperfigs -fig 2a   Example 1 cycle counts (§3.3)
 //	paperfigs -fig 2b   Example 2 cycle counts (§3.3 / §4.1)
 //	paperfigs -fig 5    the §4.3 execution trace with buffer snapshots
-//	paperfigs -fig all  everything
+//	paperfigs -fig all  every paper figure
+//
+// Beyond the paper's own figures, -fig scale prints the E16 many-core
+// extension table (16/64/256-CPU mesh machines, SC vs RC); it is not part
+// of -fig all because the paper has no such figure.
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 5, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 5, all, or scale (E16 extension)")
 	flag.Parse()
 
 	var err error
@@ -36,6 +40,8 @@ func main() {
 		}
 	case "5":
 		err = figure5()
+	case "scale":
+		err = figureScale()
 	case "all":
 		for _, f := range []func() error{figure1, func() error { return figure2("example1") },
 			func() error { return figure2("example2") }, figure5} {
@@ -95,6 +101,26 @@ func figure2(example string) error {
 		} else {
 			fmt.Fprintf(w, "%v\t%v\t%d\t-\t(extension)\n", r.Model, r.Tech, r.Cycles)
 		}
+	}
+	return w.Flush()
+}
+
+// figureScale prints the E16 extension table: the §5 equalization question
+// on mesh machines the paper's 16-processor study could not reach.
+func figureScale() error {
+	fmt.Println("E16 — many-core mesh scale sweep (extension; the paper has no such figure)")
+	fmt.Println("(does prefetch+speculation still close the SC/RC gap at 16/64/256 CPUs?)")
+	rows, err := experiments.ScaleSweep(experiments.ScaleCPUCounts, "mesh")
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "cpus\ttopo\tmodel\ttechniques\tcycles\tmessages\thops\tlink waits\tinvalidations\tcoarse sweeps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Labels["cpus"], r.Labels["topo"], r.Labels["model"], r.Labels["tech"], r.Cycles,
+			r.Extra["messages"], r.Extra["hops"], r.Extra["link_waits"],
+			r.Extra["invalidations"], r.Extra["coarse_sweeps"])
 	}
 	return w.Flush()
 }

@@ -1,4 +1,4 @@
-// Command sweep runs the evaluation experiments (DESIGN.md rows E1-E14)
+// Command sweep runs the evaluation experiments (DESIGN.md rows E1-E16)
 // and prints their result tables. Each experiment is a list of independent
 // deterministic simulations; sweep fans them out across a bounded worker
 // pool (internal/runner) and reassembles the rows in enumeration order, so
@@ -18,10 +18,13 @@
 //	sweep -exp mshr           lockup-free cache MSHR sweep (§3.2)
 //	sweep -exp reissue        reissue-only correction ablation (§4.2)
 //	sweep -exp warmequal      model x technique grid on warmed caches
+//	sweep -exp scale          many-core mesh scale sweep, SC vs RC (E16)
 //	sweep -exp all            everything, on one shared worker pool
 //
 // Execution and output flags:
 //
+//	-cpus LIST        machine sizes for the scale sweep (default 16,64,256)
+//	-topo T           scale-sweep interconnect: mesh or mesh:WxH
 //	-j N              worker-pool size (default: all CPUs)
 //	-format table|json|csv
 //	-out FILE         write the report to FILE instead of stdout
@@ -42,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +60,8 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.SuiteNames(), ", ")+", or all; comma-separated lists are accepted")
 		procs   = flag.Int("procs", 3, "processors for the workload experiments")
 		seed    = flag.Int64("seed", 7, "workload seed")
+		cpus    = flag.String("cpus", "", "comma-separated machine sizes for the scale sweep (default 16,64,256)")
+		topo    = flag.String("topo", "", "interconnect for the scale sweep: mesh (default, auto-sized) or mesh:WxH")
 		jobs    = flag.Int("j", runtime.NumCPU(), "worker-pool size (simulations run concurrently; <=0 means all CPUs)")
 		format  = flag.String("format", "table", "output format: table, json, csv")
 		out     = flag.String("out", "", "write the report to this file instead of stdout")
@@ -77,12 +83,24 @@ func main() {
 		// own goroutine on top of this extra-worker budget.
 		parsim.SetWorkerBudget(runtime.NumCPU() - effectiveWorkers(*jobs, runtime.NumCPU()))
 	}
+	params := experiments.Params{Procs: *procs, Seed: *seed, ScaleTopo: *topo}
+	if *cpus != "" {
+		var err error
+		if params.ScaleCPUs, err = parseCPUList(*cpus); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := validateScaleMachines(params); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, experiments.Params{Procs: *procs, Seed: *seed}, *jobs, *format, *out, *quiet, *snapC, *par); err != nil {
+	if err := run(*exp, params, *jobs, *format, *out, *quiet, *snapC, *par); err != nil {
 		stopProf()
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -177,6 +195,37 @@ func selectSweeps(exp string) ([]experiments.Sweep, error) {
 		sweeps = append(sweeps, s)
 	}
 	return sweeps, nil
+}
+
+// parseCPUList parses a comma-separated list of machine sizes.
+func parseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpus entry %q (want positive integers, e.g. 16,64,256)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// validateScaleMachines rejects a scale-sweep machine shape that cannot be
+// built before any simulation runs (the scale sweep itself would panic).
+func validateScaleMachines(p experiments.Params) error {
+	cpus, topo := p.ScaleCPUs, p.ScaleTopo
+	if len(cpus) == 0 {
+		cpus = experiments.ScaleCPUCounts
+	}
+	if topo == "" {
+		topo = "mesh"
+	}
+	for _, n := range cpus {
+		if err := sim.ValidateTopo(topo, n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // effectiveWorkers mirrors the runner's worker-count clamping for the

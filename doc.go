@@ -6,8 +6,8 @@
 // accesses (§3) and speculative execution for loads with coherence-snooping
 // detection and rollback (§4) — let the strictest consistency model run
 // nearly as fast as the most relaxed one. This module rebuilds the whole
-// machine the paper analyses and regenerates every figure plus an E1-E14
-// extension suite (see DESIGN.md for the S1-S23 system inventory the
+// machine the paper analyses and regenerates every figure plus an E1-E16
+// extension suite (see DESIGN.md for the S1-S26 system inventory the
 // packages below realize, EXPERIMENTS.md for the paper-versus-measured
 // record, and README.md for the guided tour).
 //
@@ -23,8 +23,9 @@
 //     (line size, address-to-line mapping) every other layer shares. The
 //     home for data when no cache holds it dirty.
 //   - internal/network — deterministic point-to-point interconnect with
-//     per-endpoint FIFO queues and a configurable one-way latency; the
-//     DASH-like mesh abstracted to latency and bandwidth.
+//     per-endpoint FIFO queues and a pluggable topology: uniform one-way
+//     latency (the seed model) or a 2-D mesh with XY dimension-order
+//     routing and per-link store-and-forward contention (S24).
 //
 // Memory-system hierarchy (S3-S4, S16, S20, S22):
 //
@@ -33,7 +34,9 @@
 //     versioning) plus a Dragon-style write-update protocol (§3.1's
 //     caveat) and the cacheless NST memory for the Stenstrom comparator.
 //     Supports multiple interleaved home modules with bounded service
-//     bandwidth (the §6 scalability experiments).
+//     bandwidth (the §6 scalability experiments) and limited-pointer
+//     sharer tracking with coarse-vector overflow for many-core
+//     machines (S25).
 //   - internal/cache — the lockup-free L1: MSHRs, request merging (a
 //     demand access joins an in-flight prefetch for free), replacement
 //     and writeback races resolved by versioning, line pinning per the
@@ -63,6 +66,11 @@
 //   - internal/sim — machine assembly and the deterministic cycle loop;
 //     configurations (PaperConfig, RealisticConfig), scheduled external
 //     writes, warmed-cache program reloading, coherent-snapshot readback.
+//   - internal/machine — the machine builder (S26): a fluent API that
+//     turns "64 CPUs on a mesh under RC with both techniques" into a
+//     validated sim.Config with scale-appropriate defaults (auto-sized
+//     mesh, one home module per tile, limited-pointer directory past 8
+//     CPUs). Carries its own runnable godoc Example.
 //   - internal/stats, internal/tracebuf — counters/metrics and the
 //     Figure-5-style buffer-snapshot tracing.
 //
@@ -80,12 +88,13 @@
 //
 // Binaries under cmd/:
 //
-//   - cmd/mcsim — run one workload/configuration, print cycles and stats.
+//   - cmd/mcsim — run one workload/configuration, print cycles and stats
+//     (-cpus and -topo scale the machine up to a contended mesh).
 //   - cmd/paperfigs — regenerate Figures 1, 2a, 2b and 5 in paper format.
-//   - cmd/sweep — the E1-E14 evaluation sweeps on the parallel runner
+//   - cmd/sweep — the E1-E16 evaluation sweeps on the parallel runner
 //     (-j workers, -format table|json|csv, -out file).
 //
 // Runnable introductions live in examples/ (quickstart, producer_consumer,
 // critical_section, equalization, litmus) and as godoc examples in
-// internal/sim and internal/isa.
+// internal/sim, internal/isa and internal/machine.
 package mcmsim

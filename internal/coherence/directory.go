@@ -57,7 +57,7 @@ const (
 // dirLine is the directory entry for one line.
 type dirLine struct {
 	state   dirState
-	sharers map[network.NodeID]bool
+	sharers sharerSet
 	owner   network.NodeID
 	ver     uint64 // bumped on every state transition
 
@@ -80,6 +80,10 @@ type Directory struct {
 	protocol Protocol
 	lines    map[uint64]*dirLine
 	Stats    *stats.Set
+
+	// sharerCfg selects exact vs limited-pointer/coarse sharer tracking
+	// (ConfigureSharers); the zero value is the seed's unbounded exact list.
+	sharerCfg sharerConfig
 
 	// MaxPerCycle bounds how many incoming messages the module services per
 	// cycle (0 = unlimited, the paper's pipelined memory assumption).
@@ -117,7 +121,7 @@ func (d *Directory) SetPort(p network.Port) { d.net = p }
 func (d *Directory) line(addr uint64) *dirLine {
 	l, ok := d.lines[addr]
 	if !ok {
-		l = &dirLine{state: dirUncached, sharers: make(map[network.NodeID]bool), owner: -1}
+		l = &dirLine{state: dirUncached, owner: -1}
 		d.lines[addr] = l
 	}
 	return l
@@ -210,10 +214,17 @@ func (d *Directory) dispatch(m *network.Message, now uint64) bool {
 		}, now, d.memLat)
 	case MsgReplaceHint:
 		l := d.line(m.Line)
-		delete(l.sharers, m.Src)
-		if l.state == dirShared && len(l.sharers) == 0 {
-			l.state = dirUncached
-			l.ver++
+		if l.sharers.coarseMode() {
+			// A coarse group bit may cover CPUs that still share the line,
+			// so a single departure cannot clear it; the hint is dropped
+			// (the line narrows again at the next invalidation sweep).
+			d.Stats.Counter("hints_ignored_coarse").Inc()
+		} else {
+			l.sharers.remove(m.Src)
+			if l.state == dirShared && l.sharers.empty() {
+				l.state = dirUncached
+				l.ver++
+			}
 		}
 		d.Stats.Counter("replace_hints").Inc()
 	default:
@@ -261,11 +272,17 @@ func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) bool
 	d.Stats.Counter("gets").Inc()
 	switch l.state {
 	case dirUncached, dirShared:
-		if l.sharers[m.Src] {
-			panic(fmt.Sprintf("directory %d: GetS from existing sharer %d line=%#x ver=%d", d.ID, m.Src, m.Line, l.ver))
+		if l.sharers.has(d.sharerCfg, m.Src) {
+			if !l.sharers.coarseMode() {
+				panic(fmt.Sprintf("directory %d: GetS from existing sharer %d line=%#x ver=%d", d.ID, m.Src, m.Line, l.ver))
+			}
+			// Coarse membership is conservative: a silently departed sharer
+			// (its replacement hint was ignored) can legitimately request
+			// the line again while its group bit is still set. Re-grant.
+			d.Stats.Counter("coarse_regrants").Inc()
 		}
 		l.state = dirShared
-		l.sharers[m.Src] = true
+		l.sharers.add(d.sharerCfg, m.Src)
 		l.ver++
 		d.net.PostAfter(network.Message{
 			Type: MsgData, Src: d.ID, Dst: m.Src,
@@ -286,20 +303,20 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) bool
 	case dirUncached, dirShared:
 		l.ver++
 		acks := 0
-		for s := range l.sharers {
-			if s == m.Src {
-				continue
-			}
+		if l.sharers.coarseMode() {
+			d.Stats.Counter("coarse_inv_sweeps").Inc()
+		}
+		// Ascending sweep order: on a contended topology the send order
+		// books links, so it must be a fixed function of directory state.
+		l.sharers.forEach(d.sharerCfg, m.Src, func(s network.NodeID) {
 			acks++
 			d.net.Post(network.Message{
 				Type: MsgInv, Src: d.ID, Dst: s,
 				Line: m.Line, Tag: l.ver, Requester: m.Src,
 			}, now)
 			d.Stats.Counter("invalidations").Inc()
-		}
-		for s := range l.sharers {
-			delete(l.sharers, s)
-		}
+		})
+		l.sharers.clear()
 		l.state = dirExclusive
 		l.owner = m.Src
 		d.net.PostAfter(network.Message{
@@ -344,24 +361,19 @@ func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
 	d.mem.WriteWord(m.Word, newVal)
 	l.ver++
 	acks := 0
-	for s := range l.sharers {
-		if s == m.Src {
-			continue
-		}
+	typ := MsgUpdate
+	if d.protocol == ProtoInvalidate {
+		typ = MsgInv
+	}
+	l.sharers.forEach(d.sharerCfg, m.Src, func(s network.NodeID) {
 		acks++
-		typ := MsgUpdate
-		if d.protocol == ProtoInvalidate {
-			typ = MsgInv
-		}
 		d.net.Post(network.Message{
 			Type: typ, Src: d.ID, Dst: s,
 			Line: m.Line, Word: m.Word, Value: newVal, Tag: l.ver, Requester: m.Src,
 		}, now)
-	}
+	})
 	if d.protocol == ProtoInvalidate {
-		for s := range l.sharers {
-			delete(l.sharers, s)
-		}
+		l.sharers.clear()
 		l.state = dirUncached
 	}
 	d.net.PostAfter(network.Message{
@@ -399,9 +411,9 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 			if m.AckCount == 1 {
 				// The owner still holds the line, downgraded to shared; a
 				// response from a victim writeback buffer retains no copy.
-				l.sharers[oldOwner] = true
+				l.sharers.add(d.sharerCfg, oldOwner)
 			}
-			l.sharers[req.Src] = true
+			l.sharers.add(d.sharerCfg, req.Src)
 			l.ver++
 			d.net.PostAfter(network.Message{
 				Type: MsgData, Src: d.ID, Dst: req.Src,
@@ -496,7 +508,10 @@ func (d *Directory) StateOf(lineAddr uint64) string {
 	case dirUncached:
 		return "uncached"
 	case dirShared:
-		return fmt.Sprintf("shared(x%d)", len(l.sharers))
+		if l.sharers.coarseMode() {
+			return fmt.Sprintf("shared(~%d)", l.sharers.count(d.sharerCfg))
+		}
+		return fmt.Sprintf("shared(x%d)", l.sharers.count(d.sharerCfg))
 	default:
 		return fmt.Sprintf("exclusive(%d)", l.owner)
 	}

@@ -1,0 +1,177 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mcmsim/internal/network"
+)
+
+// sharerConfig selects the directory's sharer-tracking scheme. The zero
+// value is the seed behavior: an unbounded exact sharer list, which on a
+// P-CPU machine is equivalent to a full P-bit vector per line.
+//
+// With pointers > 0 the directory is a limited-pointer scheme (Dir_i_B
+// style): each line tracks up to that many exact sharer pointers, and on
+// overflow falls back to a coarse vector — a single 64-bit word whose bits
+// each cover a group of ceil(cpus/64) consecutive CPU node IDs (the SGI
+// Origin scheme). Coarse lines over-invalidate (every CPU in a set group
+// receives the invalidation; non-sharers just ack) and ignore replacement
+// hints (a hint cannot clear a group bit other CPUs may still need), but
+// storage per line stays O(pointers + 1 word) no matter how many CPUs the
+// machine has.
+type sharerConfig struct {
+	cpus     int // CPU node IDs 0..cpus-1 are the only possible sharers
+	pointers int // exact-pointer capacity; 0 = unbounded exact
+	group    int // CPU IDs per coarse bit; >= ceil(cpus/64)
+}
+
+// ConfigureSharers switches the directory to limited-pointer tracking with
+// the given pointer capacity, falling back to a coarse vector over groups
+// of `group` CPUs on overflow (group 0 picks the smallest group that fits
+// 64 bits). Call before any traffic; cpus is the machine's CPU count.
+func (d *Directory) ConfigureSharers(cpus, pointers, group int) {
+	if pointers <= 0 {
+		d.sharerCfg = sharerConfig{}
+		return
+	}
+	if cpus <= 0 {
+		panic("coherence: limited-pointer tracking needs the CPU count")
+	}
+	minGroup := (cpus + 63) / 64
+	if group < minGroup {
+		group = minGroup
+	}
+	d.sharerCfg = sharerConfig{cpus: cpus, pointers: pointers, group: group}
+}
+
+// sharerSet is one line's sharer tracking: an ascending exact pointer list,
+// or — after a limited-pointer overflow — a coarse group bit-vector. The
+// coarse word is nonzero exactly when the set is in coarse mode (overflow
+// implies at least one sharer, removal is ignored in coarse mode, and only
+// clear() leaves the mode).
+type sharerSet struct {
+	ptrs   []network.NodeID
+	coarse uint64
+}
+
+func (s *sharerSet) coarseMode() bool { return s.coarse != 0 }
+
+func (s *sharerSet) empty() bool { return s.coarse == 0 && len(s.ptrs) == 0 }
+
+// count returns the exact sharer count, or in coarse mode the number of
+// CPUs the set bits cover (an upper bound on the true sharers).
+func (s *sharerSet) count(cfg sharerConfig) int {
+	if !s.coarseMode() {
+		return len(s.ptrs)
+	}
+	n := 0
+	for g := 0; g < 64; g++ {
+		if s.coarse&(1<<g) == 0 {
+			continue
+		}
+		hi := (g + 1) * cfg.group
+		if hi > cfg.cpus {
+			hi = cfg.cpus
+		}
+		n += hi - g*cfg.group
+	}
+	return n
+}
+
+func (s *sharerSet) groupBit(cfg sharerConfig, id network.NodeID) uint64 {
+	g := int(id) / cfg.group
+	if g >= 64 || int(id) >= cfg.cpus {
+		panic(fmt.Sprintf("coherence: sharer %d outside %d-CPU coarse vector", id, cfg.cpus))
+	}
+	return 1 << g
+}
+
+// has reports membership; in coarse mode it is conservative (true for any
+// CPU in a set group).
+func (s *sharerSet) has(cfg sharerConfig, id network.NodeID) bool {
+	if s.coarseMode() {
+		return s.coarse&s.groupBit(cfg, id) != 0
+	}
+	i := sort.Search(len(s.ptrs), func(i int) bool { return s.ptrs[i] >= id })
+	return i < len(s.ptrs) && s.ptrs[i] == id
+}
+
+// add inserts a sharer, converting to the coarse vector when the pointer
+// capacity would overflow.
+func (s *sharerSet) add(cfg sharerConfig, id network.NodeID) {
+	if s.coarseMode() {
+		s.coarse |= s.groupBit(cfg, id)
+		return
+	}
+	i := sort.Search(len(s.ptrs), func(i int) bool { return s.ptrs[i] >= id })
+	if i < len(s.ptrs) && s.ptrs[i] == id {
+		return
+	}
+	if cfg.pointers > 0 && len(s.ptrs) >= cfg.pointers {
+		// Overflow: fold every tracked pointer plus the newcomer into the
+		// coarse vector and drop the pointer list.
+		for _, p := range s.ptrs {
+			s.coarse |= s.groupBit(cfg, p)
+		}
+		s.coarse |= s.groupBit(cfg, id)
+		s.ptrs = s.ptrs[:0]
+		return
+	}
+	s.ptrs = append(s.ptrs, 0)
+	copy(s.ptrs[i+1:], s.ptrs[i:])
+	s.ptrs[i] = id
+}
+
+// remove drops a sharer. In coarse mode it is a no-op: a single departure
+// cannot prove its group bit is clearable (the caller counts the ignored
+// hint instead).
+func (s *sharerSet) remove(id network.NodeID) {
+	if s.coarseMode() {
+		return
+	}
+	i := sort.Search(len(s.ptrs), func(i int) bool { return s.ptrs[i] >= id })
+	if i < len(s.ptrs) && s.ptrs[i] == id {
+		s.ptrs = append(s.ptrs[:i], s.ptrs[i+1:]...)
+	}
+}
+
+// clear empties the set and returns it to exact mode.
+func (s *sharerSet) clear() {
+	s.ptrs = s.ptrs[:0]
+	s.coarse = 0
+}
+
+// forEach visits every tracked sharer except exclude, in ascending node-ID
+// order — a fixed order, because the visit order decides the network send
+// order of invalidations, which on a contended topology decides link
+// occupancy and therefore timing. In coarse mode it expands each set group
+// to all of its CPUs (the over-invalidation inherent to the scheme).
+func (s *sharerSet) forEach(cfg sharerConfig, exclude network.NodeID, f func(network.NodeID)) {
+	if !s.coarseMode() {
+		for _, p := range s.ptrs {
+			if p != exclude {
+				f(p)
+			}
+		}
+		return
+	}
+	for g := 0; g < 64; g++ {
+		if s.coarse&(1<<g) == 0 {
+			continue
+		}
+		hi := (g + 1) * cfg.group
+		if hi > cfg.cpus {
+			hi = cfg.cpus
+		}
+		for id := g * cfg.group; id < hi; id++ {
+			if n := network.NodeID(id); n != exclude {
+				f(n)
+			}
+		}
+	}
+}
+
+// popcount of the coarse word (debug/stat use).
+func (s *sharerSet) coarseGroups() int { return bits.OnesCount64(s.coarse) }

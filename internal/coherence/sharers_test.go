@@ -1,0 +1,202 @@
+package coherence
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mcmsim/internal/network"
+)
+
+func cfgFor(cpus, pointers int) sharerConfig {
+	d := &Directory{}
+	d.ConfigureSharers(cpus, pointers, 0)
+	return d.sharerCfg
+}
+
+func collect(s *sharerSet, cfg sharerConfig) []network.NodeID {
+	var out []network.NodeID
+	s.forEach(cfg, -1, func(id network.NodeID) { out = append(out, id) })
+	return out
+}
+
+func TestSharerSetExactPath(t *testing.T) {
+	cfg := cfgFor(8, 8)
+	var s sharerSet
+	for _, id := range []network.NodeID{5, 1, 7, 3, 1} { // dup 1 must be ignored
+		s.add(cfg, id)
+	}
+	if s.coarseMode() {
+		t.Fatal("4 sharers overflowed an 8-pointer set")
+	}
+	if got := collect(&s, cfg); !equalIDs(got, []network.NodeID{1, 3, 5, 7}) {
+		t.Fatalf("forEach order = %v, want ascending 1,3,5,7", got)
+	}
+	if !s.has(cfg, 3) || s.has(cfg, 4) {
+		t.Error("has() wrong on exact set")
+	}
+	s.remove(3)
+	if s.has(cfg, 3) || s.count(cfg) != 3 {
+		t.Error("remove(3) did not drop the pointer")
+	}
+	s.remove(3) // double remove is a no-op
+	if s.count(cfg) != 3 {
+		t.Error("double remove changed the set")
+	}
+}
+
+func TestSharerSetOverflowToCoarse(t *testing.T) {
+	cfg := cfgFor(16, 2) // group clamps to 1: coarse bits are exact singletons
+	if cfg.group != 1 {
+		t.Fatalf("group = %d, want 1 for 16 CPUs", cfg.group)
+	}
+	var s sharerSet
+	s.add(cfg, 2)
+	s.add(cfg, 9)
+	if s.coarseMode() {
+		t.Fatal("overflowed at capacity, should overflow past it")
+	}
+	s.add(cfg, 14) // third sharer: fold 2,9 and the newcomer into the vector
+	if !s.coarseMode() {
+		t.Fatal("third add did not overflow a 2-pointer set")
+	}
+	if len(s.ptrs) != 0 {
+		t.Error("pointer list not dropped on overflow")
+	}
+	if got := collect(&s, cfg); !equalIDs(got, []network.NodeID{2, 9, 14}) {
+		t.Errorf("coarse members = %v, want 2,9,14", got)
+	}
+	if s.coarseGroups() != 3 {
+		t.Errorf("coarseGroups = %d, want 3", s.coarseGroups())
+	}
+
+	// Removal must be a no-op in coarse mode (a departure cannot prove the
+	// group bit clearable), and membership stays conservative.
+	s.remove(9)
+	if !s.has(cfg, 9) {
+		t.Error("coarse remove cleared a group bit")
+	}
+
+	// Only clear() leaves coarse mode; the set then tracks exactly again.
+	s.clear()
+	if s.coarseMode() || !s.empty() {
+		t.Error("clear() did not return to empty exact mode")
+	}
+	s.add(cfg, 7)
+	if s.coarseMode() || s.count(cfg) != 1 {
+		t.Error("post-clear add should be exact")
+	}
+}
+
+func TestSharerSetCoarseGrouping(t *testing.T) {
+	// 256 CPUs, 4 per group: group bits must over-approximate whole groups.
+	cfg := cfgFor(256, 2)
+	if cfg.group != 4 {
+		t.Fatalf("group = %d, want ceil(256/64) = 4", cfg.group)
+	}
+	var s sharerSet
+	s.add(cfg, 0)
+	s.add(cfg, 100)
+	s.add(cfg, 255) // overflow: groups 0, 25, 63
+	if !s.coarseMode() || s.coarseGroups() != 3 {
+		t.Fatalf("want coarse mode with 3 groups, got coarse=%v groups=%d", s.coarseMode(), s.coarseGroups())
+	}
+	// Conservative membership: 101 shares group 25 with 100.
+	if !s.has(cfg, 101) {
+		t.Error("coarse has() should be true for group-mate of a sharer")
+	}
+	if s.has(cfg, 104) {
+		t.Error("coarse has() true for a CPU in a clear group")
+	}
+	// Expansion covers every CPU of every set group, ascending, honoring
+	// exclude — this is the over-invalidation fan-out.
+	want := []network.NodeID{0, 1, 2, 3, 100, 101, 102, 103, 252, 253, 254}
+	var got []network.NodeID
+	s.forEach(cfg, 255, func(id network.NodeID) { got = append(got, id) })
+	if !equalIDs(got, want) {
+		t.Errorf("coarse forEach(exclude 255) = %v, want %v", got, want)
+	}
+	if n := s.count(cfg); n != 12 {
+		t.Errorf("coarse count = %d, want 12 (3 groups x 4)", n)
+	}
+}
+
+func TestSharerSetCoarsePartialTailGroup(t *testing.T) {
+	// 70 CPUs, 2 per group: group 34 covers only CPUs 68-69. Expansion and
+	// count must not run past the machine.
+	cfg := cfgFor(70, 1)
+	var s sharerSet
+	s.add(cfg, 68)
+	s.add(cfg, 69) // overflow into group 34
+	if !s.coarseMode() {
+		t.Fatal("want coarse mode")
+	}
+	if got := collect(&s, cfg); !equalIDs(got, []network.NodeID{68, 69}) {
+		t.Errorf("tail group members = %v, want 68,69", got)
+	}
+	if s.count(cfg) != 2 {
+		t.Errorf("tail group count = %d, want 2", s.count(cfg))
+	}
+}
+
+// TestSharerSetCoarseIsSuperset is the safety property the protocol relies
+// on: under any operation sequence, the tracked set always contains every
+// CPU an exact tracker would list — coarse mode may over-approximate but
+// never forgets a sharer, so invalidations always reach everyone.
+func TestSharerSetCoarseIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		cpus := 2 + rng.Intn(127)
+		cfg := cfgFor(cpus, 1+rng.Intn(6))
+		var s sharerSet
+		exact := map[network.NodeID]bool{}
+		for op := 0; op < 60; op++ {
+			id := network.NodeID(rng.Intn(cpus))
+			switch rng.Intn(4) {
+			case 0, 1:
+				s.add(cfg, id)
+				exact[id] = true
+			case 2:
+				s.remove(id)
+				if !s.coarseMode() {
+					delete(exact, id)
+				}
+				// In coarse mode the reference set keeps the member: the
+				// tracker ignored the removal, and so must the bound.
+			case 3:
+				s.clear()
+				exact = map[network.NodeID]bool{}
+			}
+			for id := range exact {
+				if !s.has(cfg, id) {
+					t.Fatalf("trial %d: lost sharer %d (cpus=%d ptrs=%d coarse=%v)",
+						trial, id, cpus, cfg.pointers, s.coarseMode())
+				}
+			}
+			got := collect(&s, cfg)
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("trial %d: forEach not ascending: %v", trial, got)
+			}
+			for _, id := range got {
+				if !s.has(cfg, id) {
+					t.Fatalf("trial %d: forEach visited %d but has() denies it", trial, id)
+				}
+			}
+			if !s.coarseMode() && len(got) != len(exact) {
+				t.Fatalf("trial %d: exact mode tracked %d sharers, want %d", trial, len(got), len(exact))
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []network.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

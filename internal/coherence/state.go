@@ -17,9 +17,14 @@ import (
 type LineState struct {
 	Addr    uint64
 	State   uint8
-	Sharers []network.NodeID // ascending
+	Sharers []network.NodeID // ascending; exact-mode sharers (empty if coarse)
 	Owner   network.NodeID
 	Ver     uint64
+	// Coarse is the line's coarse-vector word when limited-pointer tracking
+	// overflowed (nonzero exactly in coarse mode); its group layout is the
+	// writer's sharerConfig, so restore requires an identically configured
+	// directory.
+	Coarse uint64
 }
 
 // State is the serializable state of one home module.
@@ -37,11 +42,8 @@ func (d *Directory) ExportState() (State, error) {
 	}
 	st := State{Lines: make([]LineState, 0, len(d.lines)), Stats: d.Stats.ExportState()}
 	for addr, l := range d.lines {
-		ls := LineState{Addr: addr, State: uint8(l.state), Owner: l.owner, Ver: l.ver}
-		for id := range l.sharers {
-			ls.Sharers = append(ls.Sharers, id)
-		}
-		sort.Slice(ls.Sharers, func(i, j int) bool { return ls.Sharers[i] < ls.Sharers[j] })
+		ls := LineState{Addr: addr, State: uint8(l.state), Owner: l.owner, Ver: l.ver, Coarse: l.sharers.coarse}
+		ls.Sharers = append(ls.Sharers, l.sharers.ptrs...) // already ascending
 		st.Lines = append(st.Lines, ls)
 	}
 	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Addr < st.Lines[j].Addr })
@@ -57,9 +59,15 @@ func (d *Directory) RestoreState(st State) error {
 	}
 	lines := make(map[uint64]*dirLine, len(st.Lines))
 	for _, ls := range st.Lines {
-		l := &dirLine{state: dirState(ls.State), sharers: make(map[network.NodeID]bool, len(ls.Sharers)), owner: ls.Owner, ver: ls.Ver}
-		for _, id := range ls.Sharers {
-			l.sharers[id] = true
+		l := &dirLine{state: dirState(ls.State), owner: ls.Owner, ver: ls.Ver}
+		if ls.Coarse != 0 {
+			if d.sharerCfg.pointers <= 0 {
+				return fmt.Errorf("coherence: coarse-vector line %#x restored into an exact-tracking directory", ls.Addr)
+			}
+			l.sharers.coarse = ls.Coarse
+		} else {
+			l.sharers.ptrs = append(l.sharers.ptrs, ls.Sharers...)
+			sort.Slice(l.sharers.ptrs, func(i, j int) bool { return l.sharers.ptrs[i] < l.sharers.ptrs[j] })
 		}
 		lines[ls.Addr] = l
 	}

@@ -90,11 +90,51 @@ func (v Violation) String() string {
 	return fmt.Sprintf("[%s] %s: %s", v.Cell, v.Kind, v.Detail)
 }
 
-// CheckOptions trims the grid. The zero value is the full grid.
+// CheckOptions trims the grid and sizes the machine. The zero value is the
+// full grid on the program's own machine.
 type CheckOptions struct {
 	// Quick restricts the timing axis to the paper configuration and the
 	// dense twins to SC/conv — the per-exec budget of the fuzz target.
 	Quick bool
+	// CPUs runs every cell on a machine with at least this many
+	// processors: the litmus program occupies the first CPUs and the rest
+	// run an immediate Halt. The padding CPUs never touch shared data, so
+	// the oracle's exhaustive interleaving set stays that of the 2-3
+	// processor program while the simulation exercises a full-size
+	// machine. 0 = the program's processor count.
+	CPUs int
+	// Topo selects the interconnect for every cell: "" or "uniform" keeps
+	// the timing axis's uniform-latency network; "mesh" / "mesh:WxH" runs
+	// the grid on a mesh machine with one home module per tile and the
+	// limited-pointer directory above 8 CPUs (the machine builder's scale
+	// defaults).
+	Topo string
+}
+
+// idleProgram is the padding CPUs' program: halt immediately. Programs are
+// immutable once built, so one instance serves every cell.
+var idleProgram = isa.NewBuilder().Halt().Build()
+
+// machineFor applies the options' machine shape to a cell config.
+func machineFor(cfg sim.Config, progs []*isa.Program, opts CheckOptions) (sim.Config, []*isa.Program) {
+	cfg.Procs = len(progs)
+	if opts.CPUs > len(progs) {
+		padded := make([]*isa.Program, opts.CPUs)
+		copy(padded, progs)
+		for i := len(progs); i < opts.CPUs; i++ {
+			padded[i] = idleProgram
+		}
+		progs = padded
+		cfg.Procs = opts.CPUs
+	}
+	if opts.Topo != "" && opts.Topo != "uniform" {
+		cfg.Topo = opts.Topo
+		cfg.MemModules = cfg.Procs
+		if cfg.Procs > 8 {
+			cfg.DirPointers = 8
+		}
+	}
+	return cfg, progs
 }
 
 // cellResult is one simulator run's observables.
@@ -105,8 +145,8 @@ type cellResult struct {
 }
 
 // runCell builds and runs one configuration and extracts the outcome.
-func runCell(p Program, progs []*isa.Program, m core.Model, tech core.Technique, cfg sim.Config, dense bool) (cellResult, error) {
-	cfg.Procs = len(progs)
+func runCell(p Program, progs []*isa.Program, m core.Model, tech core.Technique, cfg sim.Config, dense bool, opts CheckOptions) (cellResult, error) {
+	cfg, progs = machineFor(cfg, progs, opts)
 	cfg.Model = m
 	cfg.Tech = tech
 	cfg.Tech.DetectSC = true // the §6 monitor is passive; always watch
@@ -179,7 +219,7 @@ func CheckProgram(p Program, opts CheckOptions) (Stats, []Violation) {
 		for _, tc := range GridTechs() {
 			for _, tg := range timings {
 				cell := fmt.Sprintf("%s/%s/%s", m, tc.Name, tg.Name)
-				res, err := runCell(p, progs, m, tc.Tech, tg.Cfg(), false)
+				res, err := runCell(p, progs, m, tc.Tech, tg.Cfg(), false, opts)
 				if err != nil {
 					viols = append(viols, Violation{Program: p, Cell: cell, Kind: "error", Detail: err.Error()})
 					continue
@@ -211,7 +251,7 @@ func CheckProgram(p Program, opts CheckOptions) (Stats, []Violation) {
 					if opts.Quick && !(m == core.SC && tc.Name == "conv") {
 						continue
 					}
-					dres, derr := runCell(p, progs, m, tc.Tech, tg.Cfg(), true)
+					dres, derr := runCell(p, progs, m, tc.Tech, tg.Cfg(), true, opts)
 					if derr != nil {
 						viols = append(viols, Violation{Program: p, Cell: cell + "/dense", Kind: "error", Detail: derr.Error()})
 						continue

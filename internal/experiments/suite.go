@@ -11,6 +11,12 @@ import (
 type Params struct {
 	Procs int   // processors for the workload experiments
 	Seed  int64 // workload seed
+
+	// ScaleCPUs and ScaleTopo size the E16 scale sweep's machines; the
+	// other sweeps run the paper-scale machine and ignore them. Zero
+	// values mean ScaleCPUCounts on an auto-sized mesh.
+	ScaleCPUs []int
+	ScaleTopo string
 }
 
 // DefaultParams are the values EXPERIMENTS.md's tables were recorded with.
@@ -20,12 +26,12 @@ func DefaultParams() Params { return Params{Procs: 3, Seed: 7} }
 // DESIGN.md row), a short description, and the job enumerator.
 type Sweep struct {
 	Name string // cmd/sweep -exp name
-	ID   string // DESIGN.md experiment row (E1..E14)
+	ID   string // DESIGN.md experiment row (E1..E16)
 	Desc string
 	Jobs func(Params) []runner.Job
 }
 
-// Suite returns the full evaluation suite in DESIGN.md order (E1..E15; E8
+// Suite returns the full evaluation suite in DESIGN.md order (E1..E16; E8
 // is test/bench-only and has no sweep). The job lists of several sweeps
 // can be concatenated and executed on one shared worker pool; rows come
 // back partitioned per sweep because job order is preserved.
@@ -65,6 +71,17 @@ func Suite() []Sweep {
 			func(p Params) []runner.Job { return ReissueAblationJobs(p.Procs, p.Seed) }},
 		{"warmequal", "E15", "model x technique grid on warmed caches (shared-warmup sweep)",
 			func(p Params) []runner.Job { return WarmedEqualizationJobs() }},
+		{"scale", "E16", "many-core mesh scale sweep: SC vs RC at 16/64/256 CPUs",
+			func(p Params) []runner.Job {
+				cpus, topo := p.ScaleCPUs, p.ScaleTopo
+				if len(cpus) == 0 {
+					cpus = ScaleCPUCounts
+				}
+				if topo == "" {
+					topo = "mesh"
+				}
+				return ScaleSweepJobs(cpus, topo)
+			}},
 	}
 }
 

@@ -1,0 +1,45 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/machine"
+	"mcmsim/internal/workload"
+)
+
+// Assemble a 16-CPU mesh multiprocessor and run a machine-wide sharing
+// workload under release consistency with both latency-hiding techniques.
+// The builder picks the scale-appropriate structure: a 4x4 mesh, one home
+// memory module per tile, and a limited-pointer directory.
+func Example() {
+	b := machine.New().
+		CPUs(16).
+		Topology("mesh").
+		Model(core.RC).
+		Technique(core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true})
+
+	cfg, err := b.Config()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("topology=%s homes=%d dirptrs=%d\n", cfg.Topo, cfg.MemModules, cfg.DirPointers)
+
+	progs := make([]*isa.Program, 16)
+	for p := range progs {
+		progs[p] = workload.WideSharing(p, 16, 4, 2)
+	}
+	s, err := b.Build(progs)
+	if err != nil {
+		panic(err)
+	}
+	cycles, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("halted after %d cycles\n", cycles)
+	// Output:
+	// topology=mesh:4x4 homes=16 dirptrs=8
+	// halted after 438 cycles
+}

@@ -1,0 +1,198 @@
+// Package machine assembles simulated multiprocessors from a declarative
+// description, in the spirit of mgpusim's component builders: callers name
+// the machine they want (CPU count, topology, consistency model, technique)
+// and the builder fills in the scale-appropriate structure — mesh
+// dimensions, distributed home modules, limited-pointer directories —
+// instead of every experiment hand-wiring sim.Config.
+//
+// The zero-argument path reproduces the repo's workload-experiment machine
+// (sim.RealisticConfig); every option overrides one knob. Build validates
+// the combination and returns the assembled sim.System.
+package machine
+
+import (
+	"fmt"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+)
+
+// autoDirPointers is the exact-pointer capacity mesh machines default to
+// once they outgrow it; 8 pointers is the classic Dir_8_B sweet spot —
+// small synchronized sharing sets stay exact, wide read-sharing overflows
+// to the coarse vector.
+const autoDirPointers = 8
+
+// Builder accumulates a machine description. Methods chain; the first
+// invalid option latches an error that Config/Build report.
+type Builder struct {
+	cfg        sim.Config
+	memModules int // -1 = auto (mesh: one per CPU; uniform: one)
+	dirPtrs    int // -1 = auto (mesh with > autoDirPointers CPUs: limited)
+	err        error
+}
+
+// New starts a builder from the standard workload-experiment machine
+// (4-word lines, realistic CPU, 100-cycle uniform miss) with one CPU.
+func New() *Builder {
+	return &Builder{cfg: sim.RealisticConfig(), memModules: -1, dirPtrs: -1}
+}
+
+// FromConfig starts a builder from an explicit base configuration; its
+// MemModules and DirPointers are kept as set (no auto-scaling).
+func FromConfig(cfg sim.Config) *Builder {
+	return &Builder{cfg: cfg, memModules: cfg.MemModules, dirPtrs: cfg.DirPointers}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+// CPUs sets the processor count.
+func (b *Builder) CPUs(n int) *Builder {
+	if n < 1 {
+		return b.fail("machine: need at least 1 CPU, got %d", n)
+	}
+	b.cfg.Procs = n
+	return b
+}
+
+// Topology selects the interconnect: "uniform", "mesh" (auto-sized), or
+// "mesh:WxH".
+func (b *Builder) Topology(spec string) *Builder {
+	if err := sim.ValidateTopo(spec, 1); err != nil {
+		return b.fail("%s", err.Error())
+	}
+	b.cfg.Topo = spec
+	return b
+}
+
+// HopLatency sets the mesh per-link latency (mesh topologies only).
+func (b *Builder) HopLatency(cycles uint64) *Builder {
+	b.cfg.HopLatency = cycles
+	return b
+}
+
+// LinkGap sets the mesh per-link occupancy per message, in cycles.
+func (b *Builder) LinkGap(cycles uint64) *Builder {
+	b.cfg.LinkGap = cycles
+	return b
+}
+
+// Model sets the memory consistency model.
+func (b *Builder) Model(m core.Model) *Builder {
+	b.cfg.Model = m
+	return b
+}
+
+// Technique sets the latency-hiding technique combination.
+func (b *Builder) Technique(t core.Technique) *Builder {
+	b.cfg.Tech = t
+	return b
+}
+
+// Protocol sets the coherence protocol.
+func (b *Builder) Protocol(p coherence.Protocol) *Builder {
+	b.cfg.Protocol = p
+	return b
+}
+
+// MissLatency rescales the uniform network/memory latencies so a clean
+// miss costs the given total (uniform topology; a mesh's miss cost is
+// distance-dependent instead).
+func (b *Builder) MissLatency(cycles uint64) *Builder {
+	b.cfg = b.cfg.WithMissLatency(cycles)
+	return b
+}
+
+// MemModules fixes the number of home directory/memory modules, overriding
+// the topology default (one per CPU tile on a mesh, one on uniform).
+func (b *Builder) MemModules(n int) *Builder {
+	if n < 1 {
+		return b.fail("machine: need at least 1 memory module, got %d", n)
+	}
+	b.memModules = n
+	return b
+}
+
+// DirPointers fixes the directory's exact-pointer capacity (0 = unbounded
+// full tracking), overriding the scale default.
+func (b *Builder) DirPointers(n int) *Builder {
+	if n < 0 {
+		return b.fail("machine: negative directory pointer count %d", n)
+	}
+	b.dirPtrs = n
+	return b
+}
+
+// DirBandwidth bounds the messages each home module services per cycle
+// (0 = unlimited).
+func (b *Builder) DirBandwidth(n int) *Builder {
+	b.cfg.DirBandwidth = n
+	return b
+}
+
+// MaxCycles sets the non-convergence abort budget.
+func (b *Builder) MaxCycles(n uint64) *Builder {
+	b.cfg.MaxCycles = n
+	return b
+}
+
+// Config resolves the accumulated description to a concrete sim.Config:
+// auto knobs are fixed to the machine's scale, and the combination is
+// validated. The result is self-contained — sim.New(cfg, progs) builds the
+// same machine Build would.
+func (b *Builder) Config() (sim.Config, error) {
+	if b.err != nil {
+		return sim.Config{}, b.err
+	}
+	cfg := b.cfg
+	if err := sim.ValidateTopo(cfg.Topo, cfg.Procs); err != nil {
+		return sim.Config{}, err
+	}
+	mesh := sim.IsMeshTopo(cfg.Topo)
+	if mesh {
+		// Normalize auto-sized specs to the concrete geometry now so the
+		// returned config names the machine exactly ("mesh" -> "mesh:4x4").
+		w, h, err := sim.MeshDims(cfg.Topo, cfg.Procs)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Topo = fmt.Sprintf("mesh:%dx%d", w, h)
+	}
+	cfg.MemModules = b.memModules
+	if b.memModules < 0 {
+		// Mesh machines distribute memory DASH-style, one home per CPU
+		// tile; the uniform machine keeps the seed's single home.
+		if mesh {
+			cfg.MemModules = cfg.Procs
+		} else {
+			cfg.MemModules = 1
+		}
+	}
+	cfg.DirPointers = b.dirPtrs
+	if b.dirPtrs < 0 {
+		cfg.DirPointers = 0
+		if mesh && cfg.Procs > autoDirPointers {
+			cfg.DirPointers = autoDirPointers
+		}
+	}
+	return cfg, nil
+}
+
+// Build assembles the machine running the given per-CPU programs.
+func (b *Builder) Build(progs []*isa.Program) (*sim.System, error) {
+	cfg, err := b.Config()
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) != cfg.Procs {
+		return nil, fmt.Errorf("machine: %d programs for %d CPUs", len(progs), cfg.Procs)
+	}
+	return sim.New(cfg, progs), nil
+}

@@ -1,0 +1,94 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/machine"
+	"mcmsim/internal/sim"
+)
+
+func TestBuilderDefaults(t *testing.T) {
+	cfg, err := machine.New().Config()
+	if err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	base := sim.RealisticConfig()
+	if cfg.Procs != base.Procs || cfg.Topo != "" || cfg.MemModules != 1 || cfg.DirPointers != 0 {
+		t.Errorf("default machine deviates from the seed: procs=%d topo=%q homes=%d ptrs=%d",
+			cfg.Procs, cfg.Topo, cfg.MemModules, cfg.DirPointers)
+	}
+}
+
+func TestBuilderMeshAutoScaling(t *testing.T) {
+	cases := []struct {
+		cpus  int
+		topo  string
+		homes int
+		ptrs  int
+	}{
+		{4, "mesh:2x2", 4, 0},   // small machine: full bit-vector is fine
+		{16, "mesh:4x4", 16, 8}, // past 8 CPUs: limited pointers
+		{64, "mesh:8x8", 64, 8},
+		{256, "mesh:16x16", 256, 8},
+	}
+	for _, c := range cases {
+		cfg, err := machine.New().CPUs(c.cpus).Topology("mesh").Config()
+		if err != nil {
+			t.Fatalf("cpus=%d: %v", c.cpus, err)
+		}
+		if cfg.Topo != c.topo || cfg.MemModules != c.homes || cfg.DirPointers != c.ptrs {
+			t.Errorf("cpus=%d: got topo=%q homes=%d ptrs=%d, want %q/%d/%d",
+				c.cpus, cfg.Topo, cfg.MemModules, cfg.DirPointers, c.topo, c.homes, c.ptrs)
+		}
+	}
+}
+
+func TestBuilderExplicitOverridesWin(t *testing.T) {
+	cfg, err := machine.New().
+		CPUs(64).
+		Topology("mesh:4x16").
+		MemModules(4).
+		DirPointers(0).
+		HopLatency(3).
+		LinkGap(2).
+		Model(core.RC).
+		Config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if cfg.Topo != "mesh:4x16" || cfg.MemModules != 4 || cfg.DirPointers != 0 ||
+		cfg.HopLatency != 3 || cfg.LinkGap != 2 || cfg.Model != core.RC {
+		t.Errorf("overrides lost: %+v", cfg)
+	}
+}
+
+func TestBuilderErrorsLatch(t *testing.T) {
+	_, err := machine.New().CPUs(0).Topology("mesh").Config()
+	if err == nil || !strings.Contains(err.Error(), "CPU") {
+		t.Errorf("CPUs(0) error = %v", err)
+	}
+	_, err = machine.New().Topology("torus").Config()
+	if err == nil {
+		t.Error("Topology(torus) accepted")
+	}
+	_, err = machine.New().CPUs(2).Build(make([]*isa.Program, 3))
+	if err == nil || !strings.Contains(err.Error(), "programs") {
+		t.Errorf("program-count mismatch error = %v", err)
+	}
+}
+
+func TestFromConfigKeepsShape(t *testing.T) {
+	base := sim.RealisticConfig()
+	base.MemModules = 2
+	base.DirPointers = 4
+	cfg, err := machine.FromConfig(base).CPUs(16).Topology("mesh").Config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if cfg.MemModules != 2 || cfg.DirPointers != 4 {
+		t.Errorf("FromConfig auto-scaled explicit shape: homes=%d ptrs=%d", cfg.MemModules, cfg.DirPointers)
+	}
+}

@@ -76,6 +76,12 @@ func (k sendKey) less(o sendKey) bool {
 type pendingSend struct {
 	m   *Message
 	key sendKey
+	// dep is the message's departure cycle (send time plus sender service
+	// time); the barrier turns it into an arrival cycle via the topology.
+	// abs marks messages sent with an explicit absolute delivery cycle
+	// (SendAt/PostAt), which bypass the topology entirely.
+	dep uint64
+	abs bool
 }
 
 // Endpoint is one shard's private view of the network: an inbox of
@@ -113,37 +119,47 @@ func (ep *Endpoint) SetPhase(cycle uint64, ph Phase) {
 	ep.ctx = sendKey{cycle: cycle, phase: ph, major: ep.rank}
 }
 
-// Send implements Port.
-func (ep *Endpoint) Send(m *Message, now uint64) { ep.SendAt(m, now+ep.lat) }
+// Send implements Port: the message departs now; its arrival cycle is
+// computed by the topology at the next barrier, in sequential send order,
+// so topology contention state evolves exactly as in the sequential engine.
+func (ep *Endpoint) Send(m *Message, now uint64) { ep.enqueue(m, now, false) }
 
-// SendAfter implements Port.
-func (ep *Endpoint) SendAfter(m *Message, now, extra uint64) { ep.SendAt(m, now+ep.lat+extra) }
+// SendAfter implements Port: departure at now + extra (sender service time).
+func (ep *Endpoint) SendAfter(m *Message, now, extra uint64) { ep.enqueue(m, now+extra, false) }
 
-// SendAt implements Port: the message is buffered in the outbox, stamped
-// with the sequential send-order key; it reaches its destination inbox at
-// the next barrier.
-func (ep *Endpoint) SendAt(m *Message, deliver uint64) {
+// SendAt implements Port: an explicit absolute delivery cycle, bypassing
+// the topology (engine-internal and test traffic only).
+func (ep *Endpoint) SendAt(m *Message, deliver uint64) { ep.enqueue(m, deliver, true) }
+
+// enqueue buffers the message in the outbox, stamped with the sequential
+// send-order key; it reaches its destination inbox at the next barrier.
+func (ep *Endpoint) enqueue(m *Message, dep uint64, abs bool) {
 	if m.enqueued {
 		panic("network: message enqueued twice")
 	}
 	m.enqueued = true
-	m.deliver = deliver
+	if abs {
+		m.deliver = dep
+	}
 	ep.sent++
 	ep.hops[m.Type]++
 	key := ep.ctx
 	key.ord = ep.ord
 	ep.ord++
-	ep.out = append(ep.out, pendingSend{m: m, key: key})
+	ep.out = append(ep.out, pendingSend{m: m, key: key, dep: dep, abs: abs})
 }
 
 // Post implements Port.
-func (ep *Endpoint) Post(proto Message, now uint64) { ep.PostAt(proto, now+ep.lat) }
+func (ep *Endpoint) Post(proto Message, now uint64) { ep.post(proto, now, false) }
 
 // PostAfter implements Port.
-func (ep *Endpoint) PostAfter(proto Message, now, extra uint64) { ep.PostAt(proto, now+ep.lat+extra) }
+func (ep *Endpoint) PostAfter(proto Message, now, extra uint64) { ep.post(proto, now+extra, false) }
 
-// PostAt implements Port, drawing from the endpoint's private free list.
-func (ep *Endpoint) PostAt(proto Message, deliver uint64) {
+// PostAt implements Port, with an explicit absolute delivery cycle.
+func (ep *Endpoint) PostAt(proto Message, deliver uint64) { ep.post(proto, deliver, true) }
+
+// post draws from the endpoint's private free list and enqueues.
+func (ep *Endpoint) post(proto Message, dep uint64, abs bool) {
 	var m *Message
 	if k := len(ep.free); k > 0 {
 		m = ep.free[k-1]
@@ -154,7 +170,7 @@ func (ep *Endpoint) PostAt(proto Message, deliver uint64) {
 	}
 	*m = proto
 	m.pooled = true
-	ep.SendAt(m, deliver)
+	ep.enqueue(m, dep, abs)
 }
 
 // Recycle implements Port. Pool messages migrate between shards (a message
@@ -251,7 +267,7 @@ func NewExchange(n *Network) *Exchange {
 // component rank (index within its step phase), and the handler that
 // receives its deliveries.
 func (x *Exchange) Endpoint(id NodeID, rank uint64, h Handler) *Endpoint {
-	ep := &Endpoint{lat: x.net.latency, rank: rank, handler: h}
+	ep := &Endpoint{lat: x.net.topo.MinDelay(), rank: rank, handler: h}
 	x.eps = append(x.eps, ep)
 	x.dest[id] = ep
 	return ep
@@ -292,8 +308,11 @@ func (x *Exchange) Inject(proto Message, deliver uint64) {
 // Barrier merges every outbox into the destination inboxes: sends are
 // sorted by their sequential-order key and receive consecutive global
 // sequence numbers, so each inbox's (deliver, seq) order reproduces the
-// sequential engine's delivery order exactly. Returns the number of
-// messages routed.
+// sequential engine's delivery order exactly. Arrival cycles are computed
+// here too, by one topology Arrival call per message in the sorted order —
+// the same call sequence the sequential engine makes at Send time, so
+// link-contention state (and with it every delivery time) is byte-for-byte
+// engine-independent. Returns the number of messages routed.
 func (x *Exchange) Barrier() int {
 	x.scratch = x.scratch[:0]
 	for _, ep := range x.eps {
@@ -304,8 +323,12 @@ func (x *Exchange) Barrier() int {
 		ep.out = ep.out[:0]
 	}
 	sort.Slice(x.scratch, func(i, j int) bool { return x.scratch[i].key.less(x.scratch[j].key) })
+	topo := x.net.topo
 	for _, ps := range x.scratch {
 		m := ps.m
+		if !ps.abs {
+			m.deliver = topo.Arrival(m.Src, m.Dst, ps.dep)
+		}
 		m.seq = x.nextSeq
 		x.nextSeq++
 		dst, ok := x.dest[m.Dst]

@@ -1,12 +1,18 @@
 // Package network models the interconnection network of the simulated
-// multiprocessor. The paper's host (the Stanford DASH prototype) uses a mesh;
-// here the network is abstracted to a deterministic point-to-point transport
-// with a configurable one-way latency, which is what the paper's analytical
-// cycle counts assume.
+// multiprocessor as a deterministic point-to-point transport over a
+// pluggable Topology. The seed topology (Uniform) is a fixed one-way
+// latency, which is what the paper's analytical cycle counts assume; Mesh
+// models the paper's host class (the Stanford DASH prototype's 2-D mesh)
+// with XY routing, per-hop latency and per-link contention.
 //
 // Delivery is deterministic: messages are delivered in (deliveryTime,
-// sequence-number) order, which also guarantees FIFO ordering between any
-// source/destination pair since every message experiences the same latency.
+// sequence-number) order, and arrival times are computed by exactly one
+// Arrival call per message in global send order, so contention state
+// evolves identically across engines. On the uniform topology this also
+// guarantees FIFO ordering between any source/destination pair; on a mesh,
+// same-route messages stay ordered because each link is booked in send
+// order, but the coherence protocol never relies on network FIFO (the
+// per-line version numbers order racing messages).
 package network
 
 import (
@@ -128,7 +134,7 @@ type Handler interface {
 // the simulator is single-goroutine by design (determinism first, use
 // multiple Systems for throughput).
 type Network struct {
-	latency   uint64
+	topo      Topology
 	endpoints map[NodeID]Handler
 	q         msgHeap
 	nextSeq   uint64
@@ -144,31 +150,46 @@ type Network struct {
 	HopsByType [numMsgTypes]uint64
 }
 
-// New creates a network with the given one-way latency in cycles.
+// New creates a uniform-topology network with the given one-way latency in
+// cycles (the seed behavior: every node pair one latency apart, no
+// contention).
 func New(latency uint64) *Network {
+	return NewWithTopology(Uniform{Lat: latency})
+}
+
+// NewWithTopology creates a network whose delivery times are computed by
+// the given topology.
+func NewWithTopology(t Topology) *Network {
 	return &Network{
-		latency:   latency,
+		topo:      t,
 		endpoints: make(map[NodeID]Handler),
 	}
 }
 
-// Latency returns the configured one-way latency.
-func (n *Network) Latency() uint64 { return n.latency }
+// Latency returns the network's minimum one-way delay — the uniform
+// latency on the seed topology, the per-hop latency on a mesh. It is the
+// parallel engine's safe lookahead window; components never use it for
+// protocol decisions.
+func (n *Network) Latency() uint64 { return n.topo.MinDelay() }
+
+// Topology returns the network's topology model.
+func (n *Network) Topology() Topology { return n.topo }
 
 // Attach registers an endpoint handler for a node ID. Attaching the same ID
 // twice replaces the previous handler.
 func (n *Network) Attach(id NodeID, h Handler) { n.endpoints[id] = h }
 
-// Send enqueues a message for delivery at now + latency.
+// Send enqueues a message departing now; the topology supplies the arrival
+// cycle (now + latency on the uniform topology).
 func (n *Network) Send(m *Message, now uint64) {
-	n.SendAt(m, now+n.latency)
+	n.SendAt(m, n.topo.Arrival(m.Src, m.Dst, now))
 }
 
-// SendAfter enqueues a message for delivery at now + latency + extra. The
-// extra delay models service time at the sender (e.g. the directory's memory
-// access) without a separate event queue.
+// SendAfter enqueues a message departing at now + extra. The extra delay
+// models service time at the sender (e.g. the directory's memory access)
+// without a separate event queue; transit time is the topology's.
 func (n *Network) SendAfter(m *Message, now, extra uint64) {
-	n.SendAt(m, now+n.latency+extra)
+	n.SendAt(m, n.topo.Arrival(m.Src, m.Dst, now+extra))
 }
 
 // Post sends a copy of proto drawn from the message free list for delivery
@@ -178,12 +199,12 @@ func (n *Network) SendAfter(m *Message, now, extra uint64) {
 // Recycle it when done; handlers that copy what they need (the common case)
 // need do nothing.
 func (n *Network) Post(proto Message, now uint64) {
-	n.PostAt(proto, now+n.latency)
+	n.PostAt(proto, n.topo.Arrival(proto.Src, proto.Dst, now))
 }
 
-// PostAfter is SendAfter for pool messages: delivery at now+latency+extra.
+// PostAfter is SendAfter for pool messages: departure at now+extra.
 func (n *Network) PostAfter(proto Message, now, extra uint64) {
-	n.PostAt(proto, now+n.latency+extra)
+	n.PostAt(proto, n.topo.Arrival(proto.Src, proto.Dst, now+extra))
 }
 
 // PostAt enqueues a pooled copy of proto for delivery at the absolute cycle

@@ -14,6 +14,11 @@ type State struct {
 	// vocabulary of the snapshot's writer; a reader with a different
 	// vocabulary must not reinterpret the counts.
 	Hops []uint64
+	// Topo is the topology's mutable state (link occupancy clocks and
+	// traffic counters); nil for the stateless uniform topology. Its layout
+	// is owned by the topology implementation, so restore requires a
+	// machine built with the identical topology.
+	Topo []uint64
 }
 
 // ExportState captures the network state. It fails if deliveries are
@@ -27,6 +32,7 @@ func (n *Network) ExportState() (State, error) {
 		NextSeq:      n.nextSeq,
 		MessagesSent: n.MessagesSent,
 		Hops:         make([]uint64, numMsgTypes),
+		Topo:         n.topo.State(),
 	}
 	copy(st.Hops, n.HopsByType[:])
 	return st, nil
@@ -40,6 +46,9 @@ func (n *Network) RestoreState(st State) error {
 	}
 	if len(st.Hops) != int(numMsgTypes) {
 		return fmt.Errorf("network: snapshot has %d message types, this build has %d", len(st.Hops), numMsgTypes)
+	}
+	if err := n.topo.Restore(st.Topo); err != nil {
+		return err
 	}
 	n.nextSeq = st.NextSeq
 	n.MessagesSent = st.MessagesSent

@@ -1,0 +1,228 @@
+package network
+
+import "fmt"
+
+// Topology computes when a message injected into the network arrives at its
+// destination. It is the one point where physical structure (link layout,
+// per-hop latency, link bandwidth) enters the simulator; everything above it
+// sees only delivery cycles.
+//
+// Arrival must be called exactly once per message, in global send order:
+// topologies with contention state (link occupancy clocks) advance that
+// state inside Arrival, and the deterministic-delivery guarantee of the
+// whole simulator rests on the sequence of Arrival calls being identical
+// across engines. The sequential loop calls it at Send time; the parallel
+// engine defers every send to the window barrier and calls it there in
+// sorted sequential-send order — the same sequence, so the same arrivals.
+type Topology interface {
+	// MinDelay is the minimum one-way delay between any two nodes, in
+	// cycles. It bounds how early any send can be observed and is therefore
+	// the parallel engine's safe lookahead window. Must be >= 1 for the
+	// parallel engine to engage.
+	MinDelay() uint64
+
+	// Arrival returns the delivery cycle for a message from src to dst that
+	// departs its source at cycle dep (dep already includes any sender-side
+	// service time). The result is always >= dep + MinDelay().
+	Arrival(src, dst NodeID, dep uint64) uint64
+
+	// State returns the topology's mutable state — contention clocks and
+	// traffic counters — as a flat vector for snapshots; Restore replaces
+	// it. A stateless topology returns nil and accepts only nil/empty.
+	State() []uint64
+	Restore([]uint64) error
+
+	// String names the topology in reports.
+	String() string
+}
+
+// Uniform is the seed topology: every pair of nodes is one latency apart,
+// with no contention. It reproduces the paper's analytical model (a fixed
+// one-way network latency) exactly.
+type Uniform struct {
+	Lat uint64
+}
+
+// MinDelay implements Topology.
+func (u Uniform) MinDelay() uint64 { return u.Lat }
+
+// Arrival implements Topology: arrival is departure plus the fixed latency.
+func (u Uniform) Arrival(src, dst NodeID, dep uint64) uint64 { return dep + u.Lat }
+
+// State implements Topology; a uniform network carries no mutable state.
+func (u Uniform) State() []uint64 { return nil }
+
+// Restore implements Topology.
+func (u Uniform) Restore(st []uint64) error {
+	if len(st) != 0 {
+		return fmt.Errorf("network: uniform topology restore with %d state words", len(st))
+	}
+	return nil
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(lat=%d)", u.Lat) }
+
+// Mesh is a W×H 2-D mesh with XY dimension-order routing, a fixed per-hop
+// latency, and per-directed-link contention: each link accepts one message
+// every Gap cycles (store-and-forward, single-flit messages). Nodes are
+// placed on tiles with Place; several nodes may share a tile (a DASH-style
+// cluster of processor + home module).
+//
+// Routing is deterministic and minimal: first along X toward the
+// destination column, then along Y. A message crossing h links arrives
+// after at least max(h,1)*HopLat cycles — intra-tile messages still pay one
+// hop through the local switch, which keeps MinDelay positive and the
+// parallel window open. Contention adds waiting: a message books each link
+// on its path in turn, departing a link no earlier than the link's next
+// free cycle, and each booking blocks the link for Gap cycles. Bookings
+// happen inside Arrival, in global send order, which makes queueing delays
+// deterministic and engine-independent.
+type Mesh struct {
+	W, H   int
+	HopLat uint64
+	Gap    uint64
+
+	tile []int32 // node ID -> tile index, -1 = unplaced
+
+	// nextFree is the earliest cycle each directed link accepts another
+	// message: 4 links per tile, indexed [tile*4 + direction].
+	nextFree []uint64
+
+	// Traffic observability, folded into reports.
+	HopsTraveled uint64 // links crossed by all messages
+	LinkWaits    uint64 // cycles messages spent queued on busy links
+}
+
+// Link directions, clockwise from east; index into nextFree.
+const (
+	linkEast = iota
+	linkSouth
+	linkWest
+	linkNorth
+	linksPerTile
+)
+
+// NewMesh creates a W×H mesh. hopLat is the per-link traversal latency
+// (>= 1); gap is the per-link occupancy in cycles (>= 1: one message per
+// gap cycles per directed link).
+func NewMesh(w, h int, hopLat, gap uint64) *Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("network: invalid mesh %dx%d", w, h))
+	}
+	if hopLat == 0 {
+		hopLat = 1
+	}
+	if gap == 0 {
+		gap = 1
+	}
+	return &Mesh{
+		W: w, H: h, HopLat: hopLat, Gap: gap,
+		nextFree: make([]uint64, w*h*linksPerTile),
+	}
+}
+
+// Place assigns a network node to a tile. Every node that ever sends or
+// receives must be placed before traffic flows; Arrival panics otherwise,
+// because silently guessing a location would corrupt timing.
+func (ms *Mesh) Place(id NodeID, tile int) {
+	if tile < 0 || tile >= ms.W*ms.H {
+		panic(fmt.Sprintf("network: tile %d outside %dx%d mesh", tile, ms.W, ms.H))
+	}
+	for int(id) >= len(ms.tile) {
+		ms.tile = append(ms.tile, -1)
+	}
+	ms.tile[id] = int32(tile)
+}
+
+// Tiles returns the number of tiles in the mesh.
+func (ms *Mesh) Tiles() int { return ms.W * ms.H }
+
+func (ms *Mesh) tileOf(id NodeID) int {
+	if int(id) >= len(ms.tile) || ms.tile[id] < 0 {
+		panic(fmt.Sprintf("network: node %d not placed on mesh", id))
+	}
+	return int(ms.tile[id])
+}
+
+// MinDelay implements Topology: one hop is the fastest any message moves.
+func (ms *Mesh) MinDelay() uint64 { return ms.HopLat }
+
+// Route reports the XY hop count between two nodes' tiles (0 for the same
+// tile; Arrival still charges one local hop).
+func (ms *Mesh) Route(src, dst NodeID) int {
+	st, dt := ms.tileOf(src), ms.tileOf(dst)
+	sx, sy := st%ms.W, st/ms.W
+	dx, dy := dt%ms.W, dt/ms.W
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// Arrival implements Topology: walk the XY route, booking each directed
+// link in order. Must be called in global send order (see Topology).
+func (ms *Mesh) Arrival(src, dst NodeID, dep uint64) uint64 {
+	st, dt := ms.tileOf(src), ms.tileOf(dst)
+	if st == dt {
+		// Local delivery through the tile switch: one hop of latency, no
+		// link booked. Keeps arrival >= dep + MinDelay for the window proof.
+		ms.HopsTraveled++
+		return dep + ms.HopLat
+	}
+	t := dep
+	x, y := st%ms.W, st/ms.W
+	dx, dy := dt%ms.W, dt/ms.W
+	for x != dx || y != dy {
+		// Each hop uses one directed link owned by the hop's source tile.
+		from := y*ms.W + x
+		var dir int
+		switch {
+		case x < dx:
+			dir, x = linkEast, x+1
+		case x > dx:
+			dir, x = linkWest, x-1
+		case y < dy:
+			dir, y = linkSouth, y+1
+		default:
+			dir, y = linkNorth, y-1
+		}
+		// The message reaches this tile at t; wait for the link, occupy it
+		// for Gap cycles, arrive at the next tile a hop later.
+		link := from*linksPerTile + dir
+		if free := ms.nextFree[link]; free > t {
+			ms.LinkWaits += free - t
+			t = free
+		}
+		ms.nextFree[link] = t + ms.Gap
+		t += ms.HopLat
+		ms.HopsTraveled++
+	}
+	return t
+}
+
+// State implements Topology: the link clocks followed by the counters.
+func (ms *Mesh) State() []uint64 {
+	out := make([]uint64, 0, len(ms.nextFree)+2)
+	out = append(out, ms.nextFree...)
+	out = append(out, ms.HopsTraveled, ms.LinkWaits)
+	return out
+}
+
+// Restore implements Topology.
+func (ms *Mesh) Restore(st []uint64) error {
+	if len(st) != len(ms.nextFree)+2 {
+		return fmt.Errorf("network: mesh restore with %d state words, want %d", len(st), len(ms.nextFree)+2)
+	}
+	copy(ms.nextFree, st[:len(ms.nextFree)])
+	ms.HopsTraveled = st[len(ms.nextFree)]
+	ms.LinkWaits = st[len(ms.nextFree)+1]
+	return nil
+}
+
+func (ms *Mesh) String() string {
+	return fmt.Sprintf("mesh(%dx%d,hop=%d,gap=%d)", ms.W, ms.H, ms.HopLat, ms.Gap)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,278 @@
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestMeshRoute(t *testing.T) {
+	ms := NewMesh(4, 4, 10, 1)
+	for i := 0; i < 16; i++ {
+		ms.Place(NodeID(i), i)
+	}
+	cases := []struct {
+		src, dst NodeID
+		hops     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 15, 6}, // corner to corner: 3 east + 3 south
+		{5, 10, 2},
+		{12, 3, 6},
+	}
+	for _, c := range cases {
+		if got := ms.Route(c.src, c.dst); got != c.hops {
+			t.Errorf("Route(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestMeshArrival(t *testing.T) {
+	ms := NewMesh(4, 4, 10, 1)
+	for i := 0; i < 16; i++ {
+		ms.Place(NodeID(i), i)
+	}
+	// Same-tile traffic pays one hop (local loop), no link booking.
+	if got := ms.Arrival(3, 3, 100); got != 110 {
+		t.Errorf("same-tile arrival = %d, want 110", got)
+	}
+	// Two-hop XY route with empty links: dep + 2*HopLat.
+	if got := ms.Arrival(0, 5, 100); got != 120 {
+		t.Errorf("2-hop arrival = %d, want 120", got)
+	}
+	// Contention: a second message departing the same cycle over the same
+	// first link (0 -> 1 east) waits for the 1-cycle link gap.
+	ms2 := NewMesh(4, 4, 10, 1)
+	for i := 0; i < 16; i++ {
+		ms2.Place(NodeID(i), i)
+	}
+	if got := ms2.Arrival(0, 1, 50); got != 60 {
+		t.Errorf("first arrival = %d, want 60", got)
+	}
+	if got := ms2.Arrival(0, 1, 50); got != 61 {
+		t.Errorf("queued arrival = %d, want 61 (1-cycle link wait)", got)
+	}
+	if ms2.LinkWaits != 1 {
+		t.Errorf("LinkWaits = %d, want 1", ms2.LinkWaits)
+	}
+	if ms2.HopsTraveled != 2 {
+		t.Errorf("HopsTraveled = %d, want 2", ms2.HopsTraveled)
+	}
+	// Opposite directions between the same tiles are separate links: no wait.
+	if got := ms2.Arrival(1, 0, 50); got != 60 {
+		t.Errorf("reverse-direction arrival = %d, want 60 (own link)", got)
+	}
+}
+
+func TestMeshXYRoutingIsDeterministic(t *testing.T) {
+	// XY routing goes all the way east/west before turning: 0 -> 5 must use
+	// link 0->1 then 1->5, never 0->4 then 4->5, so booking tile 0's south
+	// link (the 0->4 route) must not delay it.
+	ms := NewMesh(4, 4, 10, 5)
+	for i := 0; i < 16; i++ {
+		ms.Place(NodeID(i), i)
+	}
+	ms.Arrival(0, 4, 100) // books the 0->4 south link
+	if got := ms.Arrival(0, 5, 100); got != 120 {
+		t.Errorf("XY route shared a YX link: arrival = %d, want 120", got)
+	}
+	// But a message whose XY route shares 0->1 east does queue.
+	if got := ms.Arrival(0, 1, 100); got != 115 {
+		t.Errorf("east-link contention: arrival = %d, want 115 (5-cycle gap)", got)
+	}
+}
+
+func TestMeshStateRoundTrip(t *testing.T) {
+	ms := NewMesh(2, 2, 3, 2)
+	for i := 0; i < 4; i++ {
+		ms.Place(NodeID(i), i)
+	}
+	ms.Arrival(0, 3, 10)
+	ms.Arrival(0, 3, 10)
+	ms.Arrival(1, 2, 11)
+	st := ms.State()
+
+	ms2 := NewMesh(2, 2, 3, 2)
+	for i := 0; i < 4; i++ {
+		ms2.Place(NodeID(i), i)
+	}
+	if err := ms2.Restore(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if ms2.HopsTraveled != ms.HopsTraveled || ms2.LinkWaits != ms.LinkWaits {
+		t.Errorf("counters not restored: got (%d,%d) want (%d,%d)",
+			ms2.HopsTraveled, ms2.LinkWaits, ms.HopsTraveled, ms.LinkWaits)
+	}
+	// The restored link clocks must queue future traffic identically.
+	if a, b := ms.Arrival(0, 3, 12), ms2.Arrival(0, 3, 12); a != b {
+		t.Errorf("restored mesh queues differently: %d vs %d", a, b)
+	}
+	if err := ms2.Restore([]uint64{1, 2}); err == nil {
+		t.Error("Restore accepted a state vector of the wrong length")
+	}
+}
+
+func TestUniformTopologyState(t *testing.T) {
+	u := Uniform{Lat: 7}
+	if st := u.State(); st != nil {
+		t.Errorf("uniform topology has state: %v", st)
+	}
+	if err := u.Restore(nil); err != nil {
+		t.Errorf("uniform restore(nil): %v", err)
+	}
+	if err := u.Restore([]uint64{1}); err == nil {
+		t.Error("uniform restore accepted stale mesh state")
+	}
+	if got := u.Arrival(0, 3, 100); got != 107 {
+		t.Errorf("uniform arrival = %d, want 107", got)
+	}
+}
+
+// meshNet builds a mesh-topology network with the first `nodes` node IDs
+// placed one per tile (wrapping), mirroring sim's DASH-style placement.
+func meshNet(w, h int, hop, gap uint64, nodes int) *Network {
+	ms := NewMesh(w, h, hop, gap)
+	for i := 0; i < nodes; i++ {
+		ms.Place(NodeID(i), i%(w*h))
+	}
+	return NewWithTopology(ms)
+}
+
+// runLegacyNet and runWindowedNet mirror runLegacy/runWindowed from
+// exchange_test.go but accept a pre-built network, so the same schedule can
+// be driven over any topology.
+func runLegacyNet(net *Network, nodes int, horizon uint64, sched []schedEvent) [][]string {
+	recs := make([]*recorder, nodes)
+	for i := range recs {
+		recs[i] = &recorder{id: NodeID(i), port: net}
+		net.Attach(NodeID(i), recs[i])
+	}
+	phases := []Phase{
+		PhaseWrites, PhaseFrontend, PhaseDeliver, PhaseDirTick, PhaseCacheTick,
+		PhaseLSUComplete, PhaseExecute, PhaseRetire, PhaseLSUIssue,
+	}
+	for t := uint64(0); t <= horizon; t++ {
+		for _, ph := range phases {
+			if ph == PhaseDeliver {
+				net.Deliver(t)
+				continue
+			}
+			for rank := 0; rank < nodes; rank++ {
+				for _, ev := range sched {
+					if ev.cycle == t && ev.phase == ph && ev.rank == rank {
+						net.PostAfter(Message{
+							Type: MsgData, Src: NodeID(ev.rank), Dst: NodeID(ev.dst),
+							Value: ev.value, Word: uint64(ev.rank)<<16 | ev.cycle,
+						}, t, ev.extra)
+					}
+				}
+			}
+		}
+	}
+	logs := make([][]string, nodes)
+	for i, r := range recs {
+		logs[i] = r.log
+	}
+	return logs
+}
+
+func runWindowedNet(t *testing.T, net *Network, nodes int, horizon uint64, sched []schedEvent) [][]string {
+	t.Helper()
+	window := net.Latency()
+	x := NewExchange(net)
+	recs := make([]*recorder, nodes)
+	eps := make([]*Endpoint, nodes)
+	for i := range recs {
+		recs[i] = &recorder{id: NodeID(i)}
+		eps[i] = x.Endpoint(NodeID(i), uint64(i), recs[i])
+		recs[i].port = eps[i]
+		net.Attach(NodeID(i), recs[i])
+	}
+	phases := []Phase{
+		PhaseWrites, PhaseFrontend, PhaseDeliver, PhaseDirTick, PhaseCacheTick,
+		PhaseLSUComplete, PhaseExecute, PhaseRetire, PhaseLSUIssue,
+	}
+	for t0 := uint64(0); t0 <= horizon; t0 += window {
+		for tc := t0; tc < t0+window && tc <= horizon; tc++ {
+			for _, ph := range phases {
+				for rank := 0; rank < nodes; rank++ {
+					ep := eps[rank]
+					if ph == PhaseDeliver {
+						ep.DeliverDue(tc)
+						continue
+					}
+					ep.SetPhase(tc, ph)
+					for _, ev := range sched {
+						if ev.cycle == tc && ev.phase == ph && ev.rank == rank {
+							ep.PostAfter(Message{
+								Type: MsgData, Src: NodeID(ev.rank), Dst: NodeID(ev.dst),
+								Value: ev.value, Word: uint64(ev.rank)<<16 | ev.cycle,
+							}, tc, ev.extra)
+						}
+					}
+				}
+			}
+		}
+		x.Barrier()
+	}
+	if p := x.PendingTotal(); p != 0 {
+		t.Fatalf("windowed run left %d messages undelivered; horizon too short", p)
+	}
+	x.Close()
+	logs := make([][]string, nodes)
+	for i, r := range recs {
+		logs[i] = r.log
+	}
+	return logs
+}
+
+// TestExchangeMeshMatchesLegacy is the mesh extension of the random-schedule
+// exchange property test: with variable hop latency AND stateful link
+// contention, windowed delivery must still match the direct path exactly.
+// This only holds because Barrier replays Arrival in sequential send order;
+// any other replay order would book links differently and diverge.
+func TestExchangeMeshMatchesLegacy(t *testing.T) {
+	const nodes = 4
+	for _, geom := range []struct {
+		w, h     int
+		hop, gap uint64
+	}{
+		{2, 2, 1, 1},
+		{2, 2, 3, 2},
+		{4, 1, 5, 3}, // a 1-D chain maximizes shared-link contention
+	} {
+		for seed := int64(0); seed < 6; seed++ {
+			name := fmt.Sprintf("%dx%d/hop=%d/gap=%d/seed=%d", geom.w, geom.h, geom.hop, geom.gap, seed)
+			t.Run(name, func(t *testing.T) {
+				const cycles = 100
+				horizon := uint64(cycles) + 60*(geom.hop*uint64(geom.w+geom.h)+geom.gap*8+4)
+				sched := genSchedule(seed, nodes, cycles, 120)
+
+				legacyNet := meshNet(geom.w, geom.h, geom.hop, geom.gap, nodes)
+				legacyLogs := runLegacyNet(legacyNet, nodes, horizon, sched)
+				winNet := meshNet(geom.w, geom.h, geom.hop, geom.gap, nodes)
+				winLogs := runWindowedNet(t, winNet, nodes, horizon, sched)
+
+				for i := range legacyLogs {
+					if !reflect.DeepEqual(legacyLogs[i], winLogs[i]) {
+						t.Errorf("node %d delivery order differs:\n--- legacy ---\n%v\n--- windowed ---\n%v",
+							i, legacyLogs[i], winLogs[i])
+					}
+				}
+				if legacyNet.MessagesSent != winNet.MessagesSent {
+					t.Errorf("MessagesSent: legacy=%d windowed=%d", legacyNet.MessagesSent, winNet.MessagesSent)
+				}
+				lm, wm := legacyNet.Topology().(*Mesh), winNet.Topology().(*Mesh)
+				if lm.HopsTraveled != wm.HopsTraveled || lm.LinkWaits != wm.LinkWaits {
+					t.Errorf("mesh counters differ: legacy=(%d,%d) windowed=(%d,%d)",
+						lm.HopsTraveled, lm.LinkWaits, wm.HopsTraveled, wm.LinkWaits)
+				}
+				if !reflect.DeepEqual(lm.State(), wm.State()) {
+					t.Error("link-occupancy clocks diverged between legacy and windowed runs")
+				}
+			})
+		}
+	}
+}

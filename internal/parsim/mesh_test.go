@@ -1,0 +1,66 @@
+package parsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
+)
+
+func wideProgs(nprocs, lines, rounds int) []*isa.Program {
+	progs := make([]*isa.Program, nprocs)
+	for p := 0; p < nprocs; p++ {
+		progs[p] = workload.WideSharing(p, nprocs, lines, rounds)
+	}
+	return progs
+}
+
+// TestParallelEngineMeshMatchesSequential is the differential gate for the
+// topology-aware network: on a mesh with per-hop latency and per-link
+// contention, the sharded engine must reproduce the sequential run exactly
+// for every worker count. This is the hardest case for the barrier design —
+// arrival times depend on mutable link-occupancy state, so they are only
+// engine-independent because Exchange.Barrier replays the topology's
+// Arrival calls in exact sequential send order.
+func TestParallelEngineMeshMatchesSequential(t *testing.T) {
+	for _, m := range []core.Model{core.SC, core.RC} {
+		for _, tc := range techniques {
+			t.Run(fmt.Sprintf("%v/%s", m, tc.name), func(t *testing.T) {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = 16
+				cfg.Model = m
+				cfg.Tech = tc.tech
+				cfg.Topo = "mesh"
+				cfg.MemModules = 16
+				cfg.DirPointers = 8
+				progs := wideProgs(16, 3, 3)
+				seq := runSeq(t, cfg, progs)
+				for _, par := range []int{2, 4, 8} {
+					diffResults(t, fmt.Sprintf("par=%d", par), seq, runPar(t, cfg, progs, par))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEngineMeshCongested raises contention (LinkGap 4, a narrow
+// 2x8 mesh, a single shared home column) so link queueing dominates
+// timing; queueing delays must still be byte-identical across engines.
+func TestParallelEngineMeshCongested(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 16
+	cfg.Model = core.SC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	cfg.Topo = "mesh:2x8"
+	cfg.LinkGap = 4
+	cfg.MemModules = 2
+	cfg.DirPointers = 4
+	progs := wideProgs(16, 4, 2)
+	seq := runSeq(t, cfg, progs)
+	for _, par := range []int{2, 8} {
+		diffResults(t, fmt.Sprintf("par=%d", par), seq, runPar(t, cfg, progs, par))
+	}
+}

@@ -32,6 +32,30 @@ type Config struct {
 	NetLatency uint64
 	MemLatency uint64
 
+	// Topo selects the interconnect topology. "" or "uniform" is the seed
+	// network: every node pair NetLatency apart, no contention. "mesh" is a
+	// 2-D mesh auto-sized to ceil(sqrt(P)) columns; "mesh:WxH" fixes the
+	// dimensions. On a mesh, CPU i and home module i share tile i (mod
+	// tiles) — a DASH-style cluster — and NetLatency is ignored in favor of
+	// HopLatency. New normalizes the field to its explicit form
+	// ("mesh:WxH", or "" for uniform).
+	Topo string
+	// HopLatency is the mesh per-link traversal latency (default 10, so a
+	// one-hop round trip with MemLatency 10 costs 2*10+10 = 30 cycles and
+	// cross-machine traffic pays distance on top).
+	HopLatency uint64
+	// LinkGap is the mesh per-directed-link occupancy per message: each
+	// link accepts one message every LinkGap cycles; later messages queue
+	// deterministically (default 1).
+	LinkGap uint64
+
+	// DirPointers bounds each directory entry to this many exact sharer
+	// pointers; an overflowing line falls back to a coarse vector over
+	// groups of ceil(P/64) CPUs, which over-invalidates but keeps directory
+	// storage per line O(DirPointers) instead of O(P). 0 = unbounded exact
+	// tracking (the seed behavior).
+	DirPointers int
+
 	Cache cache.Config
 	CPU   cpu.Config
 
@@ -208,13 +232,16 @@ func New(cfg Config, progs []*isa.Program) *System {
 	// only its own map, which is what lets the parallel engine run home
 	// nodes on separate goroutines against the one Memory.
 	mem := memsys.NewBankedMemory(geom, cfg.MemModules)
-	net := network.New(cfg.NetLatency)
+	net := buildNetwork(&cfg)
 	homes := make([]network.NodeID, cfg.MemModules)
 	dirs := make([]*coherence.Directory, cfg.MemModules)
 	for i := range dirs {
 		homes[i] = network.NodeID(cfg.Procs + i)
 		dirs[i] = coherence.New(homes[i], net, mem, cfg.MemLatency, cfg.Protocol)
 		dirs[i].MaxPerCycle = cfg.DirBandwidth
+		if cfg.DirPointers > 0 {
+			dirs[i].ConfigureSharers(cfg.Procs, cfg.DirPointers, 0)
+		}
 	}
 
 	s := &System{Cfg: cfg, Net: net, Mem: mem, Dir: dirs[0], Dirs: dirs}
@@ -511,5 +538,13 @@ func (s *System) StatsReport() string {
 		b.WriteString(s.Caches[i].Stats.String())
 	}
 	fmt.Fprintf(&b, "network.messages = %d\n", s.Net.MessagesSent)
+	if ms, ok := s.Net.Topology().(*network.Mesh); ok {
+		// Mesh-only rows: keeping them out of uniform reports preserves the
+		// seed's byte-exact outputs. Both counters advance inside
+		// Topology.Arrival, whose call sequence is engine-independent, so
+		// these rows are too.
+		fmt.Fprintf(&b, "network.hops = %d\n", ms.HopsTraveled)
+		fmt.Fprintf(&b, "network.link_waits = %d\n", ms.LinkWaits)
+	}
 	return b.String()
 }

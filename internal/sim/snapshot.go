@@ -120,6 +120,9 @@ func exportConfig(c Config) snapshot.Config {
 		LineWords:       c.LineWords,
 		NetLatency:      c.NetLatency,
 		MemLatency:      c.MemLatency,
+		Topo:            c.Topo,
+		HopLatency:      c.HopLatency,
+		LinkGap:         c.LinkGap,
 		Cache:           c.Cache,
 		CPU:             c.CPU,
 		ForwardLatency:  c.ForwardLatency,
@@ -127,6 +130,7 @@ func exportConfig(c Config) snapshot.Config {
 		NST:             c.NST,
 		MemModules:      c.MemModules,
 		DirBandwidth:    c.DirBandwidth,
+		DirPointers:     c.DirPointers,
 		MaxCycles:       c.MaxCycles,
 		DenseLoop:       c.DenseLoop,
 	}
@@ -148,6 +152,9 @@ func importConfig(c snapshot.Config) Config {
 		LineWords:       c.LineWords,
 		NetLatency:      c.NetLatency,
 		MemLatency:      c.MemLatency,
+		Topo:            c.Topo,
+		HopLatency:      c.HopLatency,
+		LinkGap:         c.LinkGap,
 		Cache:           c.Cache,
 		CPU:             c.CPU,
 		ForwardLatency:  c.ForwardLatency,
@@ -155,6 +162,7 @@ func importConfig(c snapshot.Config) Config {
 		NST:             c.NST,
 		MemModules:      c.MemModules,
 		DirBandwidth:    c.DirBandwidth,
+		DirPointers:     c.DirPointers,
 		MaxCycles:       c.MaxCycles,
 		DenseLoop:       c.DenseLoop,
 	}

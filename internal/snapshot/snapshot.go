@@ -58,6 +58,10 @@ type Config struct {
 	NetLatency uint64
 	MemLatency uint64
 
+	Topo       string
+	HopLatency uint64
+	LinkGap    uint64
+
 	Cache cache.Config
 	CPU   cpu.Config
 
@@ -68,6 +72,7 @@ type Config struct {
 
 	MemModules   int
 	DirBandwidth int
+	DirPointers  int
 	MaxCycles    uint64
 	DenseLoop    bool
 }

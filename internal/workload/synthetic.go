@@ -92,6 +92,41 @@ func ArraySweep(p, n int) *isa.Program {
 	return b.Build()
 }
 
+// WideSharing builds the E16 scale-sweep program for processor p of
+// nprocs: each round every processor reads `lines` widely shared lines
+// (accumulating into R10), then the round's rotating writer bumps each of
+// them — so every write invalidates up to nprocs-1 sharers, the 100+-sharer
+// fan-out the paper-level scale question asks about. A short private stride
+// between rounds keeps the pipeline busy while invalidations propagate.
+// Lines are spaced 0x40 words apart so they stay distinct under any line
+// size the experiments use.
+func WideSharing(p, nprocs, lines, rounds int) *isa.Program {
+	b := isa.NewBuilder()
+	priv := int64(privBase + p*privStride)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < lines; i++ {
+			b.LoadAbs(isa.R1, int64(arrayBase+i*0x40))
+			b.Add(isa.R10, isa.R10, isa.R1)
+		}
+		if r%nprocs == p {
+			for i := 0; i < lines; i++ {
+				addr := int64(arrayBase + i*0x40)
+				b.LoadAbs(isa.R2, addr)
+				b.AddI(isa.R2, isa.R2, 1)
+				b.StoreAbs(isa.R2, addr)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			b.LoadAbs(isa.R3, priv+int64(i))
+			b.AddI(isa.R3, isa.R3, 1)
+			b.StoreAbs(isa.R3, priv+int64(i))
+		}
+	}
+	b.StoreAbs(isa.R10, priv+8) // per-processor checksum, for debugging only
+	b.Halt()
+	return b.Build()
+}
+
 // MixOptions parameterizes RandomSharing.
 type MixOptions struct {
 	Ops          int     // memory operations to generate
