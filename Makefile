@@ -1,14 +1,15 @@
 # Pre-PR gate and convenience targets. `make check` is what every change
 # must pass before review (documented in README.md): vet, formatting,
 # build, the full test suite, the race-detector tier over every package,
-# the fast-forward differential tier, and a conformance smoke batch
-# against the SC oracle (internal/conformance).
+# the fast-forward differential tier, a conformance smoke batch against
+# the exact per-model oracles (internal/conformance), and the
+# exact-vs-legacy oracle differential.
 
 GO ?= go
 
-.PHONY: check vet fmtcheck build test race differential conform cover fuzz bench benchdiff sweep fmt
+.PHONY: check vet fmtcheck build test race differential conform oracle-diff cover fuzz bench benchdiff sweep fmt
 
-check: vet fmtcheck build test race differential conform
+check: vet fmtcheck build test race differential conform oracle-diff
 	@echo "check: OK"
 
 vet:
@@ -43,11 +44,18 @@ differential:
 	$(GO) test -run 'TestFastForward|TestParallelEngine|TestSnapshot|TestWarmupCache' ./internal/sim ./internal/experiments ./internal/parsim ./internal/runner
 
 # The conformance tier: a smoke batch of generated litmus programs checked
-# against the exhaustive SC oracle across the model x technique x timing
-# grid (cmd/conform runs larger batches; any failure prints a minimized
-# reproducer).
+# against the exact per-model oracles across the model x technique x
+# timing x protocol grid (cmd/conform runs larger batches; any failure
+# prints a minimized reproducer).
 conform:
 	$(GO) run ./cmd/conform -seed 1 -n 64 -quiet
+
+# The oracle tier: the exact-vs-legacy differential over a seeded batch
+# (exact ⊆ legacy for every model, equality under SC, 1-minimal shrinking
+# on failure), the pinned divergence programs, the named litmus corpus,
+# and the state-cap hard-error contract.
+oracle-diff:
+	$(GO) test -run 'TestOracleDifferential|TestExact|TestLitmusCorpus|TestOracleStateCap' ./internal/conformance
 
 # Per-package statement coverage for the simulator core.
 cover:

@@ -23,6 +23,7 @@
 //	-j N      worker-pool size (<=0 means all CPUs)
 //	-par N    shard each simulation across up to N goroutines
 //	-quick    paper timing only (the fuzz target's reduced grid)
+//	-protocol coherence-protocol axis: both (default), msi, or mesi
 //	-quiet    suppress the progress line on stderr
 //
 // Any violation is minimized to a 1-minimal reproducer and printed with
@@ -37,6 +38,7 @@ import (
 	"runtime"
 	"time"
 
+	"mcmsim/internal/coherence"
 	"mcmsim/internal/conformance"
 	"mcmsim/internal/parsim"
 	"mcmsim/internal/sim"
@@ -53,9 +55,21 @@ func main() {
 		quick = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
 		cpus  = flag.Int("cpus", 0, "pad the machine to this many processors (extra CPUs halt immediately; 0 = program size)")
 		topo  = flag.String("topo", "", "interconnect for every cell: uniform (default), mesh, or mesh:WxH")
+		proto = flag.String("protocol", "both", "coherence-protocol axis: both, msi, or mesi")
 		quiet = flag.Bool("quiet", false, "suppress progress on stderr")
 	)
 	flag.Parse()
+	var protocols []coherence.Protocol
+	switch *proto {
+	case "both", "":
+	case "msi":
+		protocols = []coherence.Protocol{coherence.ProtoInvalidate}
+	case "mesi":
+		protocols = []coherence.Protocol{coherence.ProtoMESI}
+	default:
+		fmt.Fprintf(os.Stderr, "conform: unknown -protocol %q (want both, msi, or mesi)\n", *proto)
+		os.Exit(2)
+	}
 	if *topo != "" {
 		machineCPUs := *cpus
 		if machineCPUs < 2 {
@@ -79,7 +93,7 @@ func main() {
 	}
 
 	params := conformance.Params{Procs: *procs, ProcOps: *ops}
-	opts := conformance.CheckOptions{Quick: *quick, CPUs: *cpus, Topo: *topo}
+	opts := conformance.CheckOptions{Quick: *quick, CPUs: *cpus, Topo: *topo, Protocols: protocols}
 
 	progress := func(done, total int) {
 		fmt.Fprintf(os.Stderr, "\rconform: %d/%d programs", done, total)

@@ -32,6 +32,8 @@
 //	-dense            step every cycle (disable idle-cycle fast-forward)
 //	-snapshot-cache   dedupe identical warmup phases via machine snapshots
 //	                  (default true; output is byte-identical either way)
+//	-protocol P       base coherence protocol, msi (default) or mesi;
+//	                  experiments with their own protocol axis are unaffected
 //	-cpuprofile FILE  write a pprof CPU profile
 //	-memprofile FILE  write a pprof heap profile at exit
 //
@@ -49,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"mcmsim/internal/coherence"
 	"mcmsim/internal/experiments"
 	"mcmsim/internal/parsim"
 	"mcmsim/internal/runner"
@@ -69,10 +72,20 @@ func main() {
 		dense   = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
 		par     = flag.Int("par", 1, "shard each simulation across up to N goroutines (output stays byte-identical for every N)")
 		snapC   = flag.Bool("snapshot-cache", true, "simulate each distinct warmup phase once and clone it via machine snapshots (output stays byte-identical either way)")
+		proto   = flag.String("protocol", "msi", "base coherence protocol for experiments that do not set their own: msi or mesi")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	switch *proto {
+	case "msi", "":
+		sim.BaseProtocol = coherence.ProtoInvalidate
+	case "mesi":
+		sim.BaseProtocol = coherence.ProtoMESI
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -protocol %q (want msi or mesi)\n", *proto)
+		os.Exit(1)
+	}
 	sim.ForceDense = *dense
 	sim.ParWorkers = *par
 	if *par > 1 {

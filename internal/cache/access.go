@@ -52,7 +52,7 @@ func (c *Cache) Access(req Request, now uint64) Result {
 			}
 			return c.accessWriteUpdate(req, lineAddr, l, m, now)
 		}
-		if l != nil && l.state == Modified {
+		if l != nil && writableState(l.state) {
 			l.lastUse = c.useClock
 			c.useClock++
 			c.schedule(req, now)
@@ -104,7 +104,7 @@ func (c *Cache) accessPrefetch(req Request, lineAddr uint64, l *line, m *mshr, n
 		return PrefetchDropped
 	}
 	if l != nil {
-		sufficient := !wantEx || l.state == Modified
+		sufficient := !wantEx || writableState(l.state)
 		if sufficient {
 			c.Stats.Counter("prefetch_dropped").Inc()
 			return PrefetchDropped
@@ -234,7 +234,7 @@ func (c *Cache) finishHit(req Request, now uint64) {
 	l := c.lookup(lineAddr)
 	needsEx := req.Kind == ReqWrite || req.Kind == ReqRMW || req.Kind == ReqReadEx
 	lost := l == nil
-	if !lost && needsEx && c.proto == ProtoInvalidate && l.state != Modified {
+	if !lost && needsEx && c.proto != ProtoUpdate && !writableState(l.state) {
 		lost = true
 	}
 	if lost {
@@ -273,9 +273,11 @@ func (c *Cache) finishHit(req Request, now uint64) {
 	case ReqRead, ReqReadEx:
 		c.client.AccessComplete(req.ID, l.data[off], now)
 	case ReqWrite:
+		l.state = Modified // MESI: a store silently upgrades Exclusive
 		l.data[off] = req.Data
 		c.client.AccessComplete(req.ID, req.Data, now)
 	case ReqRMW:
+		l.state = Modified
 		old := l.data[off]
 		l.data[off] = req.RMW.Apply(old, req.Data)
 		if DebugCacheTrace != nil && lineAddr == DebugCacheTraceLine {

@@ -21,8 +21,12 @@ import (
 	"mcmsim/internal/stats"
 )
 
-// State is the local state of a cached line (MSI; the paper's
-// "valid exclusive" corresponds to Modified).
+// State is the local state of a cached line. Under MSI the paper's
+// "valid exclusive" corresponds to Modified. Under MESI a line granted
+// exclusively but never written sits in Exclusive: it is clean (memory is
+// current), writable without a directory transaction (a store silently
+// upgrades it to Modified), and evictable silently (no writeback, no
+// replacement hint — the directory discovers the departure lazily).
 type State uint8
 
 // Line states.
@@ -30,6 +34,7 @@ const (
 	Invalid State = iota
 	Shared
 	Modified
+	Exclusive // MESI only: exclusive and clean
 )
 
 func (s State) String() string {
@@ -38,10 +43,18 @@ func (s State) String() string {
 		return "shared"
 	case Modified:
 		return "exclusive"
+	case Exclusive:
+		return "exclusive-clean"
 	default:
 		return "invalid"
 	}
 }
+
+// writableState reports whether a store may perform against the resident
+// copy without a directory transaction: Modified always, Exclusive under
+// MESI (the state never arises under MSI). The write itself must move an
+// Exclusive line to Modified.
+func writableState(s State) bool { return s == Modified || s == Exclusive }
 
 // ReqKind distinguishes the request types the load/store unit can issue.
 type ReqKind uint8
@@ -271,10 +284,12 @@ type Cache struct {
 // messages). The numeric values must match.
 type Protocol uint8
 
-// Protocol values (must match coherence.ProtoInvalidate / ProtoUpdate).
+// Protocol values (must match coherence.ProtoInvalidate / ProtoUpdate /
+// ProtoMESI).
 const (
 	ProtoInvalidate Protocol = iota
 	ProtoUpdate
+	ProtoMESI
 )
 
 type ackKey struct {

@@ -1,0 +1,131 @@
+package cache_test
+
+import (
+	"testing"
+
+	"mcmsim/internal/cache"
+	"mcmsim/internal/coherence"
+)
+
+// TestMESIStoreToExclusiveIsSilent: under MESI a read miss to an uncached
+// line installs Exclusive, and a later store upgrades it to Modified with
+// no bus traffic at all — one miss total. Under MSI the same sequence pays
+// a second transaction (the GetX upgrade from Shared).
+func TestMESIStoreToExclusiveIsSilent(t *testing.T) {
+	h := newHarness(t, 1, smallConfig(), 1, coherence.ProtoMESI)
+	h.mem.WriteWord(0x40, 7)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 1, Addr: 0x40}, h.cycle)
+	h.settle(t)
+	if st := h.caches[0].StateOf(0x40); st != cache.Exclusive {
+		t.Fatalf("state after read fill = %v, want exclusive-clean", st)
+	}
+	if res := h.caches[0].Access(cache.Request{Kind: cache.ReqWrite, ID: 2, Addr: 0x40, Data: 9}, h.cycle); res != cache.Hit {
+		t.Fatalf("store to exclusive-clean line = %v, want Hit", res)
+	}
+	h.settle(t)
+	if st := h.caches[0].StateOf(0x40); st != cache.Modified {
+		t.Errorf("state after store = %v, want exclusive (Modified)", st)
+	}
+	if v, ok := h.clients[0].done(2); !ok || v != 9 {
+		t.Errorf("store completion = %d,%v, want 9", v, ok)
+	}
+	if got := h.caches[0].Stats.Counter("misses").Value(); got != 1 {
+		t.Errorf("MESI misses = %d, want 1 (silent upgrade)", got)
+	}
+
+	// The MSI control: same sequence, one extra exclusive transaction.
+	m := newHarness(t, 1, smallConfig(), 1, coherence.ProtoInvalidate)
+	m.mem.WriteWord(0x40, 7)
+	m.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 1, Addr: 0x40}, m.cycle)
+	m.settle(t)
+	if st := m.caches[0].StateOf(0x40); st != cache.Shared {
+		t.Fatalf("MSI state after read fill = %v, want shared", st)
+	}
+	if res := m.caches[0].Access(cache.Request{Kind: cache.ReqWrite, ID: 2, Addr: 0x40, Data: 9}, m.cycle); res != cache.Miss {
+		t.Fatalf("MSI store to shared line = %v, want Miss (GetX upgrade)", res)
+	}
+	m.settle(t)
+	if got := m.caches[0].Stats.Counter("misses").Value(); got != 2 {
+		t.Errorf("MSI misses = %d, want 2 (read fill + upgrade)", got)
+	}
+}
+
+// TestMESISilentCleanEviction: evicting an exclusive-clean line sends
+// nothing — no writeback, no replacement hint — and the directory finds
+// out only when the cache next asks for the line, via the silent-eviction
+// re-grant.
+func TestMESISilentCleanEviction(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 1, MaxMSHRs: 4, HitLatency: 1}
+	h := newHarness(t, 1, cfg, 1, coherence.ProtoMESI)
+	h.mem.WriteWord(0x40, 7)
+	h.mem.WriteWord(0x41, 8)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 1, Addr: 0x40}, h.cycle)
+	h.settle(t)
+
+	// The conflicting read evicts the exclusive-clean 0x40.
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x41}, h.cycle)
+	h.settle(t)
+	if st := h.caches[0].StateOf(0x40); st != cache.Invalid {
+		t.Fatalf("victim state = %v, want invalid", st)
+	}
+	if got := h.caches[0].Stats.Counter("silent_evictions").Value(); got != 1 {
+		t.Errorf("silent evictions = %d, want 1", got)
+	}
+	if got := h.dir.Stats.Counter("replace_hints").Value(); got != 0 {
+		t.Errorf("replace hints = %d, want 0 (eviction must be silent)", got)
+	}
+	sawReplace := false
+	for _, ev := range h.clients[0].events {
+		if ev.line == 0x40 && ev.kind == cache.EvReplace {
+			sawReplace = true
+		}
+	}
+	if !sawReplace {
+		t.Error("silent eviction not reported to the client as a replacement")
+	}
+
+	// Re-reading the line exercises the directory's re-grant path
+	// end-to-end: the directory still lists cache 0 as owner.
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 3, Addr: 0x40}, h.cycle)
+	h.settle(t)
+	if v, ok := h.clients[0].done(3); !ok || v != 7 {
+		t.Fatalf("re-read after silent eviction = %d,%v, want 7", v, ok)
+	}
+	if got := h.dir.Stats.Counter("silent_eviction_regrants").Value(); got != 1 {
+		t.Errorf("silent-eviction re-grants = %d, want 1", got)
+	}
+}
+
+// TestMESIRecallAfterSilentEviction: a remote writer recalls a line whose
+// exclusive-clean owner silently dropped it. The owner answers with a
+// no-copy writeback, memory's copy stands, and the writer completes;
+// everyone then converges on the written value.
+func TestMESIRecallAfterSilentEviction(t *testing.T) {
+	cfg := cache.Config{Sets: 1, Ways: 1, MaxMSHRs: 4, HitLatency: 1}
+	h := newHarness(t, 2, cfg, 1, coherence.ProtoMESI)
+	h.mem.WriteWord(0x40, 7)
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 1, Addr: 0x40}, h.cycle)
+	h.settle(t)
+	// Evict 0x40 silently; the directory still believes cache 0 owns it.
+	h.caches[0].Access(cache.Request{Kind: cache.ReqRead, ID: 2, Addr: 0x41}, h.cycle)
+	h.settle(t)
+
+	if h.caches[1].Access(cache.Request{Kind: cache.ReqWrite, ID: 3, Addr: 0x40, Data: 5}, h.cycle) == cache.Blocked {
+		t.Fatal("remote write blocked")
+	}
+	h.settle(t)
+	if v, ok := h.clients[1].done(3); !ok || v != 5 {
+		t.Fatalf("remote write completion = %d,%v, want 5", v, ok)
+	}
+	if got := h.caches[0].Stats.Counter("recall_nocopy").Value(); got != 1 {
+		t.Errorf("no-copy recall answers = %d, want 1", got)
+	}
+	for c := 0; c < 2; c++ {
+		id := uint64(10 + c)
+		h.caches[c].Access(cache.Request{Kind: cache.ReqRead, ID: id, Addr: 0x40}, h.cycle)
+		h.settle(t)
+		if v, ok := h.clients[c].done(id); !ok || v != 5 {
+			t.Fatalf("cache %d converged on %d,%v, want 5", c, v, ok)
+		}
+	}
+}

@@ -114,7 +114,14 @@ func (c *Cache) handleInvAck(m *network.Message, now uint64) {
 func (c *Cache) installFill(ms *mshr, now uint64) {
 	state := Shared
 	if ms.exclusive {
-		state = Modified
+		// Under MESI an exclusive grant installs clean; the first store
+		// upgrades it to Modified in place (below, or in finishHit). Under
+		// MSI the grant installs dirty as before.
+		if c.proto == ProtoMESI {
+			state = Exclusive
+		} else {
+			state = Modified
+		}
 	}
 	// An exclusive grant for a line we already hold shared is an upgrade:
 	// refresh the resident copy in place rather than allocating a new way.
@@ -192,7 +199,7 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 		case ReqRead:
 			c.client.AccessComplete(req.ID, readData[off], now)
 		case ReqReadEx:
-			if l.state != Modified {
+			if !writableState(l.state) {
 				escalated = append(escalated, w)
 				continue
 			}
@@ -203,20 +210,22 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 				c.sendUpdateReq(req, now)
 				continue
 			}
-			if l.state != Modified {
+			if !writableState(l.state) {
 				escalated = append(escalated, w)
 				continue
 			}
+			l.state = Modified
 			l.data[off] = req.Data
 			if DebugCacheTrace != nil && ms.lineAddr == DebugCacheTraceLine {
 				DebugCacheTrace(fmt.Sprintf("cache%d@%d: WRITE(fill) val=%d id=%d", c.ID, now, req.Data, req.ID))
 			}
 			c.client.AccessComplete(req.ID, req.Data, now)
 		case ReqRMW:
-			if l.state != Modified {
+			if !writableState(l.state) {
 				escalated = append(escalated, w)
 				continue
 			}
+			l.state = Modified
 			old := l.data[off]
 			l.data[off] = req.RMW.Apply(old, req.Data)
 			if DebugCacheTrace != nil && ms.lineAddr == DebugCacheTraceLine {
@@ -226,7 +235,7 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 		}
 	}
 
-	if len(escalated) > 0 || (ms.escalate && l.state != Modified) {
+	if len(escalated) > 0 || (ms.escalate && !writableState(l.state)) {
 		// A write merged into a shared fill: immediately request
 		// exclusivity, carrying the unserved writes as waiters.
 		nm := &mshr{lineAddr: ms.lineAddr, exclusive: true, waiters: escalated}
@@ -246,8 +255,14 @@ func (c *Cache) installFill(ms *mshr, now uint64) {
 // notifySupersededDeferred filters out deferred events whose directory
 // version precedes the grant — the fill data already reflects them, so they
 // must not be applied to the line — while still reporting each one to the
-// client as a pure notification. A recall can never be superseded: the
-// directory does not grant past an unanswered recall.
+// client as a pure notification. Under MSI a recall can never be
+// superseded: the directory does not grant past an unanswered recall. Under
+// MESI it can: a recall aimed at a silently evicted Exclusive copy races
+// our re-request, the directory proves the copy is gone from the request
+// itself and self-completes the recall, and the grant it then issues
+// carries a newer version than the recall. The stale recall is dropped
+// (the directory is not waiting for an answer), with a conservative
+// invalidate notification for the speculative-load buffer.
 func (c *Cache) notifySupersededDeferred(ms *mshr, now uint64) {
 	keep := ms.deferred[:0]
 	for _, ev := range ms.deferred {
@@ -260,8 +275,14 @@ func (c *Cache) notifySupersededDeferred(ms *mshr, now uint64) {
 			c.client.CoherenceEvent(ms.lineAddr, EvInvalidate, now)
 		case network.MsgUpdate:
 			c.client.CoherenceEvent(ms.lineAddr, EvUpdate, now)
+		case network.MsgRecallShare, network.MsgRecallInv:
+			if c.proto != ProtoMESI {
+				panic(fmt.Sprintf("cache %d: dropping deferred recall tag=%d grant=%d line=%#x", c.ID, ev.tag, ms.grantVer, ms.lineAddr))
+			}
+			c.Stats.Counter("superseded_recalls").Inc()
+			c.client.CoherenceEvent(ms.lineAddr, EvInvalidate, now)
 		default:
-			panic(fmt.Sprintf("cache %d: dropping deferred recall tag=%d grant=%d line=%#x", c.ID, ev.tag, ms.grantVer, ms.lineAddr))
+			panic(fmt.Sprintf("cache %d: dropping deferred %v tag=%d grant=%d line=%#x", c.ID, ev.typ, ev.tag, ms.grantVer, ms.lineAddr))
 		}
 	}
 	ms.deferred = keep
@@ -328,13 +349,19 @@ func (c *Cache) victimize(lineAddr uint64, now uint64) bool {
 // speculative-load buffer).
 func (c *Cache) evict(l *line, now uint64) {
 	c.Stats.Counter("evictions").Inc()
-	if l.state == Modified {
+	switch l.state {
+	case Modified:
 		c.wb[l.addr] = &wbEntry{data: append([]int64(nil), l.data...)}
 		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(l.addr),
 			Line: l.addr, Data: append([]int64(nil), l.data...), Tag: l.grantVer,
 		}, now)
-	} else {
+	case Exclusive:
+		// MESI silent clean eviction: memory is current and the directory
+		// still names us owner; it learns of the departure from our next
+		// request for the line or from an unanswerable recall.
+		c.Stats.Counter("silent_evictions").Inc()
+	default:
 		c.net.Post(network.Message{
 			Type: network.MsgReplaceHint, Src: c.ID, Dst: c.homeFor(l.addr), Line: l.addr,
 		}, now)
@@ -513,6 +540,18 @@ func (c *Cache) respondRecall(lineAddr uint64, typ network.MsgType, tag uint64, 
 		c.net.Post(network.Message{
 			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(lineAddr),
 			Line: lineAddr, Data: append([]int64(nil), wbe.data...), Tag: tag, AckCount: 0,
+		}, now)
+		return
+	}
+	if c.proto == ProtoMESI {
+		// The recall found nothing: our Exclusive copy was silently evicted
+		// (it was clean, so memory is current). Answer "no copy" — nil data
+		// tells the directory to skip the memory write, AckCount=0 that no
+		// copy is retained.
+		c.Stats.Counter("recall_nocopy").Inc()
+		c.net.Post(network.Message{
+			Type: network.MsgWriteBack, Src: c.ID, Dst: c.homeFor(lineAddr),
+			Line: lineAddr, Data: nil, Tag: tag, AckCount: 0,
 		}, now)
 		return
 	}

@@ -36,13 +36,25 @@ const (
 	// prefetch is not possible (paper §3.1: servicing a write partially
 	// would make the new value visible).
 	ProtoUpdate
+	// ProtoMESI extends the invalidation protocol with an Exclusive-clean
+	// cache state: a read miss on an uncached line is granted exclusively,
+	// a store to the granted copy upgrades it silently, and a clean
+	// exclusive copy is evicted silently. The directory cannot distinguish
+	// Exclusive from Modified at the owner, so recalls may discover the
+	// copy is gone (a "no copy" response with no data) and a request from
+	// the presumed owner is itself proof of a silent eviction.
+	ProtoMESI
 )
 
 func (p Protocol) String() string {
-	if p == ProtoUpdate {
+	switch p {
+	case ProtoUpdate:
 		return "update"
+	case ProtoMESI:
+		return "mesi"
+	default:
+		return "invalidate"
 	}
-	return "invalidate"
 }
 
 // dirState is the directory's view of one line.
@@ -183,6 +195,19 @@ func (d *Directory) dispatch(m *network.Message, now uint64) bool {
 	switch m.Type {
 	case MsgGetS, MsgGetX, MsgUpdateReq:
 		l := d.line(m.Line)
+		if l.busy && d.protocol == ProtoMESI && m.Src == l.owner {
+			// The owner we are recalling from is itself requesting the line.
+			// It can only miss if its copy is gone, and a dirty copy always
+			// leaves a writeback (which blocks re-requests until it is
+			// acknowledged), so the copy was clean-Exclusive and silently
+			// evicted: the recall will never be answered with data. Complete
+			// it now as a no-copy response; the owner's request then queues
+			// or is served against the settled state below. The stale recall
+			// reaches the owner before any newer grant (same-pair FIFO
+			// delivery) and is dropped there as superseded.
+			d.Stats.Counter("recall_self_completions").Inc()
+			d.completeRecall(l, m.Line, nil, 0, now)
+		}
 		if l.busy {
 			l.waitQ = append(l.waitQ, m)
 			d.Stats.Counter("queued_requests").Inc()
@@ -272,6 +297,20 @@ func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) bool
 	d.Stats.Counter("gets").Inc()
 	switch l.state {
 	case dirUncached, dirShared:
+		if d.protocol == ProtoMESI && l.state == dirUncached {
+			// MESI exclusive-clean grant: no other copy exists, so the
+			// reader gets the line exclusively (and clean) for free — its
+			// first store then upgrades silently, with no bus traffic.
+			l.state = dirExclusive
+			l.owner = m.Src
+			l.ver++
+			d.Stats.Counter("exclusive_clean_grants").Inc()
+			d.net.PostAfter(network.Message{
+				Type: MsgDataEx, Src: d.ID, Dst: m.Src,
+				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
+			}, now, d.memLat)
+			return false
+		}
 		if l.sharers.has(d.sharerCfg, m.Src) {
 			if !l.sharers.coarseMode() {
 				panic(fmt.Sprintf("directory %d: GetS from existing sharer %d line=%#x ver=%d", d.ID, m.Src, m.Line, l.ver))
@@ -290,6 +329,19 @@ func (d *Directory) processGetS(l *dirLine, m *network.Message, now uint64) bool
 		}, now, d.memLat)
 		return false
 	default: // dirExclusive
+		if d.protocol == ProtoMESI && l.owner == m.Src {
+			// A request from the presumed owner proves the clean-Exclusive
+			// copy was silently evicted (a dirty eviction's writeback blocks
+			// re-requests until acknowledged, and the ack settles the
+			// directory first). Memory is current: re-grant exclusively.
+			l.ver++
+			d.Stats.Counter("silent_eviction_regrants").Inc()
+			d.net.PostAfter(network.Message{
+				Type: MsgDataEx, Src: d.ID, Dst: m.Src,
+				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
+			}, now, d.memLat)
+			return false
+		}
 		// Recall the dirty line from its owner; the transaction completes
 		// when the owner's WriteBack arrives.
 		d.beginRecall(l, m, MsgRecallShare, now)
@@ -326,7 +378,18 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) bool
 		return false
 	default: // dirExclusive
 		if l.owner == m.Src {
-			panic("directory: GetX from current owner")
+			if d.protocol != ProtoMESI {
+				panic("directory: GetX from current owner")
+			}
+			// Silent eviction of the clean-Exclusive copy (see processGetS):
+			// re-grant exclusively from current memory.
+			l.ver++
+			d.Stats.Counter("silent_eviction_regrants").Inc()
+			d.net.PostAfter(network.Message{
+				Type: MsgDataEx, Src: d.ID, Dst: m.Src,
+				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
+			}, now, d.memLat)
+			return false
 		}
 		d.beginRecall(l, m, MsgRecallInv, now)
 		return true
@@ -340,7 +403,7 @@ func (d *Directory) processGetX(l *dirLine, m *network.Message, now uint64) bool
 // is applied to memory and all cached copies are invalidated or recalled.
 func (d *Directory) processUpdate(l *dirLine, m *network.Message, now uint64) bool {
 	d.Stats.Counter("updates").Inc()
-	if d.protocol == ProtoInvalidate && l.state == dirExclusive {
+	if d.protocol != ProtoUpdate && l.state == dirExclusive {
 		// Must recall the dirty copy before memory can be written.
 		d.beginRecall(l, m, MsgRecallInv, now)
 		return true
@@ -362,7 +425,7 @@ func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
 	l.ver++
 	acks := 0
 	typ := MsgUpdate
-	if d.protocol == ProtoInvalidate {
+	if d.protocol != ProtoUpdate {
 		typ = MsgInv
 	}
 	l.sharers.forEach(d.sharerCfg, m.Src, func(s network.NodeID) {
@@ -372,7 +435,7 @@ func (d *Directory) finishUpdate(l *dirLine, m *network.Message, now uint64) {
 			Line: m.Line, Word: m.Word, Value: newVal, Tag: l.ver, Requester: m.Src,
 		}, now)
 	})
-	if d.protocol == ProtoInvalidate {
+	if d.protocol != ProtoUpdate {
 		l.sharers.clear()
 		l.state = dirUncached
 	}
@@ -400,41 +463,7 @@ func (d *Directory) beginRecall(l *dirLine, m *network.Message, recall network.M
 func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 	l := d.line(m.Line)
 	if l.busy && m.Tag == l.recallTag {
-		// Recall response: complete the pending transaction.
-		d.mem.WriteLine(m.Line, m.Data)
-		req := l.pendingReq
-		l.pendingReq = nil
-		oldOwner := l.owner
-		switch req.Type {
-		case MsgGetS:
-			l.state = dirShared
-			if m.AckCount == 1 {
-				// The owner still holds the line, downgraded to shared; a
-				// response from a victim writeback buffer retains no copy.
-				l.sharers.add(d.sharerCfg, oldOwner)
-			}
-			l.sharers.add(d.sharerCfg, req.Src)
-			l.ver++
-			d.net.PostAfter(network.Message{
-				Type: MsgData, Src: d.ID, Dst: req.Src,
-				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver,
-			}, now, d.memLat)
-		case MsgGetX:
-			l.state = dirExclusive
-			l.owner = req.Src
-			l.ver++
-			d.net.PostAfter(network.Message{
-				Type: MsgDataEx, Src: d.ID, Dst: req.Src,
-				Line: m.Line, Data: d.mem.ReadLine(m.Line), Tag: l.ver, AckCount: 0,
-			}, now, d.memLat)
-		case MsgUpdateReq:
-			l.state = dirUncached
-			l.owner = -1
-			d.finishUpdate(l, req, now)
-		}
-		d.net.Recycle(req) // retained since beginRecall; fully served now
-		l.busy = false
-		d.drainWaitQ(l, now)
+		d.completeRecall(l, m.Line, m.Data, m.AckCount, now)
 		return
 	}
 
@@ -456,6 +485,51 @@ func (d *Directory) handleWriteBack(m *network.Message, now uint64) {
 	if !l.busy {
 		d.drainWaitQ(l, now)
 	}
+}
+
+// completeRecall finishes a busy recall transaction and serves the pending
+// request. data is the recalled line image, or nil when the recall found no
+// copy (a MESI no-copy response, or the directory self-completing a recall
+// whose target provably evicted silently) — memory is already current then
+// and is not rewritten. retained=1 means the responder kept a shared copy.
+func (d *Directory) completeRecall(l *dirLine, line uint64, data []int64, retained int, now uint64) {
+	if data != nil {
+		d.mem.WriteLine(line, data)
+	}
+	req := l.pendingReq
+	l.pendingReq = nil
+	oldOwner := l.owner
+	switch req.Type {
+	case MsgGetS:
+		l.state = dirShared
+		if retained == 1 {
+			// The owner still holds the line, downgraded to shared; a
+			// response from a victim writeback buffer (or a no-copy
+			// response) retains no copy.
+			l.sharers.add(d.sharerCfg, oldOwner)
+		}
+		l.sharers.add(d.sharerCfg, req.Src)
+		l.ver++
+		d.net.PostAfter(network.Message{
+			Type: MsgData, Src: d.ID, Dst: req.Src,
+			Line: line, Data: d.mem.ReadLine(line), Tag: l.ver,
+		}, now, d.memLat)
+	case MsgGetX:
+		l.state = dirExclusive
+		l.owner = req.Src
+		l.ver++
+		d.net.PostAfter(network.Message{
+			Type: MsgDataEx, Src: d.ID, Dst: req.Src,
+			Line: line, Data: d.mem.ReadLine(line), Tag: l.ver, AckCount: 0,
+		}, now, d.memLat)
+	case MsgUpdateReq:
+		l.state = dirUncached
+		l.owner = -1
+		d.finishUpdate(l, req, now)
+	}
+	d.net.Recycle(req) // retained since beginRecall; fully served now
+	l.busy = false
+	d.drainWaitQ(l, now)
 }
 
 // drainWaitQ serves queued requests until the line goes busy again or the

@@ -3,6 +3,7 @@ package conformance
 import (
 	"fmt"
 
+	"mcmsim/internal/coherence"
 	"mcmsim/internal/core"
 	"mcmsim/internal/isa"
 	"mcmsim/internal/runner"
@@ -10,15 +11,18 @@ import (
 )
 
 // The driver: run one generated program through the simulator across the
-// model x technique x timing grid and check each cell against the oracle.
+// model x technique x timing x protocol grid and check each cell against
+// the exact oracle.
 //
-// Invariants checked per cell (model m, technique t, timing g):
+// Invariants checked per cell (model m, technique t, timing g, protocol c):
 //
-//  1. Containment: the observed outcome is in oracle(m). For m == SC the
-//     oracle is the exact interleaving set, so this is the paper's §1
-//     baseline claim; for every m it implies techniques never add
+//  1. Containment: the observed outcome is in oracle(m), the exact
+//     operational outcome set (exact.go). For m == SC this is the paper's
+//     §1 baseline claim; for every m it implies techniques never add
 //     outcomes the conventional model forbids (§4.2, §5.2), because
-//     oracle(m) is computed from the conventional delay arcs alone.
+//     oracle(m) is computed from the conventional delay arcs alone. The
+//     protocol axis must be invisible here: MSI and MESI only change when
+//     a line is writable locally, never which values a read may bind.
 //  2. Detector certificate: if the §6 detector reported zero possible
 //     violations, the outcome is sequentially consistent — it is in
 //     oracle(SC). The converse is deliberately NOT checked: the detector
@@ -27,6 +31,12 @@ import (
 //  3. Fast-forward transparency: for a sample of cells the same
 //     configuration is re-run with DenseLoop set; halt cycle and outcome
 //     must match exactly.
+//
+// Before any cell runs, the two reference models are cross-checked on the
+// program: exact(m) ⊆ legacy(m) for every model and exact(SC) ==
+// legacy(SC). The legacy oracle's deliberate over-approximations make
+// these relations theorems (see exact.go), so any breach is a bug in one
+// of the oracles and is reported as an "oracle-diff" violation.
 //
 // AdveHill and NST are deliberately outside the default grid: the former
 // is a §6 comparator machine whose early-store-commit window is the very
@@ -77,12 +87,34 @@ func GridTimings() []TimingCell {
 	}
 }
 
+// GridProtocols is the coherence-protocol axis: the seed's MSI
+// invalidation protocol and the MESI extension (exclusive-clean state,
+// silent eviction, exclusive grant on a read to an uncached line). The
+// update protocol is outside the default grid — read-exclusive prefetch
+// and cached atomics are structurally unavailable under it, so it has its
+// own experiments.
+func GridProtocols() []coherence.Protocol {
+	return []coherence.Protocol{coherence.ProtoInvalidate, coherence.ProtoMESI}
+}
+
+// protoName renders the protocol's grid-cell segment.
+func protoName(p coherence.Protocol) string {
+	switch p {
+	case coherence.ProtoInvalidate:
+		return "msi"
+	case coherence.ProtoMESI:
+		return "mesi"
+	default:
+		return p.String()
+	}
+}
+
 // Violation is one failed invariant: the cell, what was observed, and why
 // it is wrong. Program carries the abstract program for minimization.
 type Violation struct {
 	Program Program
-	Cell    string // "model/tech/timing"
-	Kind    string // "containment" | "detector" | "dense" | "error"
+	Cell    string // "model/tech/timing/proto"
+	Kind    string // "containment" | "detector" | "dense" | "oracle-diff" | "error"
 	Detail  string
 }
 
@@ -109,6 +141,9 @@ type CheckOptions struct {
 	// limited-pointer directory above 8 CPUs (the machine builder's scale
 	// defaults).
 	Topo string
+	// Protocols restricts the protocol axis; nil runs the full
+	// GridProtocols set.
+	Protocols []coherence.Protocol
 }
 
 // idleProgram is the padding CPUs' program: halt immediately. Programs are
@@ -145,10 +180,11 @@ type cellResult struct {
 }
 
 // runCell builds and runs one configuration and extracts the outcome.
-func runCell(p Program, progs []*isa.Program, m core.Model, tech core.Technique, cfg sim.Config, dense bool, opts CheckOptions) (cellResult, error) {
+func runCell(p Program, progs []*isa.Program, m core.Model, tech core.Technique, proto coherence.Protocol, cfg sim.Config, dense bool, opts CheckOptions) (cellResult, error) {
 	cfg, progs = machineFor(cfg, progs, opts)
 	cfg.Model = m
 	cfg.Tech = tech
+	cfg.Protocol = proto
 	cfg.Tech.DetectSC = true // the §6 monitor is passive; always watch
 	cfg.DenseLoop = dense
 	s := sim.New(cfg, progs)
@@ -200,12 +236,33 @@ func CheckProgram(p Program, opts CheckOptions) (Stats, []Violation) {
 	shared := p.SharedAddrs()
 
 	oracle := make(map[core.Model]OutcomeSet, len(core.AllModels))
+	var viols []Violation
 	for _, m := range core.AllModels {
 		set, err := ModelOutcomes(progs, shared, m)
 		if err != nil {
 			return stats, []Violation{{Program: p, Cell: "oracle/" + m.String(), Kind: "error", Detail: err.Error()}}
 		}
 		oracle[m] = set
+		// Built-in oracle differential: the legacy superset model must
+		// contain the exact set for every model and coincide with it
+		// under SC.
+		legacy, err := LegacyModelOutcomes(progs, shared, m)
+		if err != nil {
+			return stats, []Violation{{Program: p, Cell: "oracle/" + m.String(), Kind: "error", Detail: err.Error()}}
+		}
+		if !set.Subset(legacy) {
+			viols = append(viols, Violation{
+				Program: p, Cell: "oracle/" + m.String(), Kind: "oracle-diff",
+				Detail: fmt.Sprintf("exact set not contained in legacy superset; exact: %v legacy: %v",
+					set.Sorted(), legacy.Sorted()),
+			})
+		} else if m == core.SC && !legacy.Subset(set) {
+			viols = append(viols, Violation{
+				Program: p, Cell: "oracle/" + m.String(), Kind: "oracle-diff",
+				Detail: fmt.Sprintf("legacy SC set differs from exact SC set; exact: %v legacy: %v",
+					set.Sorted(), legacy.Sorted()),
+			})
+		}
 	}
 	scSet := oracle[core.SC]
 
@@ -213,55 +270,60 @@ func CheckProgram(p Program, opts CheckOptions) (Stats, []Violation) {
 	if opts.Quick {
 		timings = timings[:1]
 	}
+	protocols := opts.Protocols
+	if len(protocols) == 0 {
+		protocols = GridProtocols()
+	}
 
-	var viols []Violation
 	for _, m := range core.AllModels {
 		for _, tc := range GridTechs() {
 			for _, tg := range timings {
-				cell := fmt.Sprintf("%s/%s/%s", m, tc.Name, tg.Name)
-				res, err := runCell(p, progs, m, tc.Tech, tg.Cfg(), false, opts)
-				if err != nil {
-					viols = append(viols, Violation{Program: p, Cell: cell, Kind: "error", Detail: err.Error()})
-					continue
-				}
-				stats.Cells++
-				if !scSet.Has(res.outcome) {
-					stats.Relaxed++
-				}
-				if res.detections > 0 {
-					stats.Detections++
-				}
-				if !oracle[m].Has(res.outcome) {
-					viols = append(viols, Violation{
-						Program: p, Cell: cell, Kind: "containment",
-						Detail: fmt.Sprintf("outcome %q not allowed by %s; allowed: %v",
-							res.outcome, m, oracle[m].Sorted()),
-					})
-				}
-				if res.detections == 0 && !scSet.Has(res.outcome) {
-					viols = append(viols, Violation{
-						Program: p, Cell: cell, Kind: "detector",
-						Detail: fmt.Sprintf("detector silent but outcome %q is not SC; SC set: %v",
-							res.outcome, scSet.Sorted()),
-					})
-				}
-				// Fast-forward transparency: dense twin of the paper-timing
-				// cells for the boundary techniques (conv and pf+spec).
-				if tg.Name == "paper" && (tc.Name == "conv" || tc.Name == "pf+spec") {
-					if opts.Quick && !(m == core.SC && tc.Name == "conv") {
+				for _, proto := range protocols {
+					cell := fmt.Sprintf("%s/%s/%s/%s", m, tc.Name, tg.Name, protoName(proto))
+					res, err := runCell(p, progs, m, tc.Tech, proto, tg.Cfg(), false, opts)
+					if err != nil {
+						viols = append(viols, Violation{Program: p, Cell: cell, Kind: "error", Detail: err.Error()})
 						continue
 					}
-					dres, derr := runCell(p, progs, m, tc.Tech, tg.Cfg(), true, opts)
-					if derr != nil {
-						viols = append(viols, Violation{Program: p, Cell: cell + "/dense", Kind: "error", Detail: derr.Error()})
-						continue
+					stats.Cells++
+					if !scSet.Has(res.outcome) {
+						stats.Relaxed++
 					}
-					if dres.outcome != res.outcome || dres.cycles != res.cycles {
+					if res.detections > 0 {
+						stats.Detections++
+					}
+					if !oracle[m].Has(res.outcome) {
 						viols = append(viols, Violation{
-							Program: p, Cell: cell, Kind: "dense",
-							Detail: fmt.Sprintf("fast-forward (%q, %d cycles) != dense (%q, %d cycles)",
-								res.outcome, res.cycles, dres.outcome, dres.cycles),
+							Program: p, Cell: cell, Kind: "containment",
+							Detail: fmt.Sprintf("outcome %q not allowed by %s; allowed: %v",
+								res.outcome, m, oracle[m].Sorted()),
 						})
+					}
+					if res.detections == 0 && !scSet.Has(res.outcome) {
+						viols = append(viols, Violation{
+							Program: p, Cell: cell, Kind: "detector",
+							Detail: fmt.Sprintf("detector silent but outcome %q is not SC; SC set: %v",
+								res.outcome, scSet.Sorted()),
+						})
+					}
+					// Fast-forward transparency: dense twin of the paper-timing
+					// cells for the boundary techniques (conv and pf+spec).
+					if tg.Name == "paper" && (tc.Name == "conv" || tc.Name == "pf+spec") {
+						if opts.Quick && !(m == core.SC && tc.Name == "conv") {
+							continue
+						}
+						dres, derr := runCell(p, progs, m, tc.Tech, proto, tg.Cfg(), true, opts)
+						if derr != nil {
+							viols = append(viols, Violation{Program: p, Cell: cell + "/dense", Kind: "error", Detail: derr.Error()})
+							continue
+						}
+						if dres.outcome != res.outcome || dres.cycles != res.cycles {
+							viols = append(viols, Violation{
+								Program: p, Cell: cell, Kind: "dense",
+								Detail: fmt.Sprintf("fast-forward (%q, %d cycles) != dense (%q, %d cycles)",
+									res.outcome, res.cycles, dres.outcome, dres.cycles),
+							})
+						}
 					}
 				}
 			}
@@ -280,7 +342,7 @@ type Report struct {
 // CellsPerProgram is the number of fast-forward grid cells CheckProgram
 // visits with the full grid (dense twins excluded).
 func CellsPerProgram() int {
-	return len(core.AllModels) * len(GridTechs()) * len(GridTimings())
+	return len(core.AllModels) * len(GridTechs()) * len(GridTimings()) * len(GridProtocols())
 }
 
 // CheckBatch generates programs for seeds seed..seed+n-1 and checks each

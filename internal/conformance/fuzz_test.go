@@ -9,7 +9,9 @@ import (
 // litmusSeeds is the fuzz seed corpus: the classic litmus shapes of
 // internal/workload expressed as abstract programs (spin loops approximated
 // by a single acquire load — the generator fragment is loop-free), plus a
-// 3-processor write-to-read causality test and an atomic-handoff test.
+// 3-processor write-to-read causality test, an atomic-handoff test, and
+// the two shapes that separate the exact oracle from the legacy superset
+// (same-address read pairs and cross-address store FIFO).
 func litmusSeeds() []Program {
 	return []Program{
 		// Store buffering (Dekker).
@@ -47,6 +49,18 @@ func litmusSeeds() []Program {
 		{NAddr: 2, Ops: [][]Op{
 			{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}, {Kind: KStore, Addr: 1, Val: 2}},
 			{{Kind: KRMW, Addr: 0, Val: 9, RMW: isa.RMWTestAndSet}, {Kind: KLoad, Addr: 1}},
+		}},
+		// Same-address read pair racing a remote store (the exact oracle's
+		// read-read ordering; TestExactCoRR).
+		{NAddr: 2, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}},
+			{{Kind: KLoad, Addr: 0}, {Kind: KLoad, Addr: 0}},
+		}},
+		// Cross-address store-buffer FIFO through a release
+		// (TestExactStoreFIFO).
+		{NAddr: 3, Ops: [][]Op{
+			{{Kind: KStore, Addr: 0, Val: 2}, {Kind: KRelease, Addr: 1, Val: 3}, {Kind: KStore, Addr: 2, Val: 4}},
+			{{Kind: KAcquire, Addr: 2}, {Kind: KLoad, Addr: 0}},
 		}},
 	}
 }

@@ -44,7 +44,7 @@ func TestGenerateBounds(t *testing.T) {
 func TestGeneratedProgramsAnalyzable(t *testing.T) {
 	for seed := int64(0); seed < 100; seed++ {
 		p := Generate(seed, Params{})
-		if _, err := NewOracle(p.Build(), p.SharedAddrs(), core.SC); err != nil {
+		if _, err := NewLegacyOracle(p.Build(), p.SharedAddrs(), core.SC); err != nil {
 			t.Fatalf("seed %d not analyzable: %v\n%v", seed, err, p)
 		}
 	}

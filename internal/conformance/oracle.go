@@ -11,10 +11,10 @@ import (
 	"mcmsim/internal/isa"
 )
 
-// The oracle is an operational reference model: an abstract machine with a
-// single multi-copy-atomic memory and per-processor op lists, where one
-// enabled operation performs atomically per step. Exhaustive memoized DFS
-// over the interleavings of enabled operations yields the complete set of
+// The legacy oracle is an operational reference model: an abstract machine
+// with a single multi-copy-atomic memory and per-processor op lists, where
+// one enabled operation performs atomically per step. Exhaustive memoized
+// DFS over the interleavings of enabled operations yields a superset of the
 // final outcomes the consistency model allows.
 //
 // An operation is enabled exactly when the LSU's issue conditions would let
@@ -35,12 +35,14 @@ import (
 //     early, §2's "read bypasses write" relaxation). A pending older
 //     same-address RMW blocks the read instead: atomics never forward.
 //
-// Two deliberate over-approximations keep the oracle a sound superset for
-// the relaxed models while leaving SC exact (both are gated behind arcs
-// that block under SC): same-address read-read pairs are unordered, and
-// forwarding is allowed whenever the arcs permit the read to perform. A
-// containment check against a superset can miss bugs but never reports a
-// false violation.
+// Two deliberate over-approximations make this a strict superset for the
+// relaxed models while leaving SC exact (both are gated behind arcs that
+// block under SC): same-address read-read pairs are unordered, and the
+// store-buffer write-FIFO is modeled only per address, not across
+// addresses. The ExactOracle (exact.go) closes both holes; the legacy
+// oracle is kept as a differential cross-check — every fuzz run asserts
+// exact ⊆ legacy, so a bug in either model surfaces as a containment
+// failure.
 
 // oracleOp is one abstract operation of the reference machine.
 type oracleOp struct {
@@ -53,23 +55,27 @@ type oracleOp struct {
 }
 
 // maxOracleStates bounds the memo table; the generator's MaxTotalOps keeps
-// real programs far below it, so hitting the cap means a harness bug.
+// real programs far below it, so hitting the cap means a harness bug. The
+// cap is a hard error from Outcomes, never a silent truncation: a truncated
+// outcome set would turn containment checks into false violations (or,
+// worse, false passes for the differential).
 const maxOracleStates = 1 << 22
 
 // ErrNotAnalyzable reports a program outside the oracle's fragment (not
 // straight-line, or a register-binding read from a non-shared address).
 var ErrNotAnalyzable = errors.New("conformance: program not analyzable by the oracle")
 
-// Oracle enumerates the outcomes one consistency model allows for one
-// program. Build it once per (program, model) pair; Outcomes runs the
-// search.
-type Oracle struct {
-	model  core.Model
-	procs  [][]oracleOp
-	naddr  int
-	nreads []int
-	memo   map[string]struct{}
-	out    OutcomeSet
+// LegacyOracle enumerates a superset of the outcomes one consistency model
+// allows for one program. Build it once per (program, model) pair; Outcomes
+// runs the search.
+type LegacyOracle struct {
+	model     core.Model
+	procs     [][]oracleOp
+	naddr     int
+	nreads    []int
+	maxStates int
+	memo      map[string]struct{}
+	out       OutcomeSet
 }
 
 // OutcomeSet is a set of canonical outcome strings (see outcomeString).
@@ -98,28 +104,29 @@ func (s OutcomeSet) Subset(t OutcomeSet) bool {
 	return true
 }
 
-// NewOracle extracts the abstract program from the built per-processor ISA
+// Equal reports whether s and t contain exactly the same outcomes.
+func (s OutcomeSet) Equal(t OutcomeSet) bool {
+	return len(s) == len(t) && s.Subset(t)
+}
+
+// extractOps builds the abstract per-processor op lists from the built ISA
 // programs. shared lists the shared-variable addresses (index order defines
 // variable numbering). Operations on other addresses are processor-private
 // scaffolding (observation-slot stores) and are dropped; prefetches are
 // non-binding hints and are dropped too. A register-binding read from a
 // private address would make outcome extraction ambiguous, so it is
 // rejected with ErrNotAnalyzable.
-func NewOracle(progs []*isa.Program, shared []uint64, m core.Model) (*Oracle, error) {
+func extractOps(progs []*isa.Program, shared []uint64) (procs [][]oracleOp, nreads []int, err error) {
 	idx := make(map[uint64]int, len(shared))
 	for i, a := range shared {
 		idx[a] = i
 	}
-	o := &Oracle{
-		model:  m,
-		procs:  make([][]oracleOp, len(progs)),
-		naddr:  len(shared),
-		nreads: make([]int, len(progs)),
-	}
+	procs = make([][]oracleOp, len(progs))
+	nreads = make([]int, len(progs))
 	for p, prog := range progs {
 		mops, ok := prog.MemOps()
 		if !ok {
-			return nil, fmt.Errorf("%w: P%d is not straight-line", ErrNotAnalyzable, p)
+			return nil, nil, fmt.Errorf("%w: P%d is not straight-line", ErrNotAnalyzable, p)
 		}
 		// Remap MemOp read indices to the kept-op read numbering. Since
 		// binding reads from private addresses are rejected, the map is
@@ -133,7 +140,7 @@ func NewOracle(progs []*isa.Program, shared []uint64, m core.Model) (*Oracle, er
 			ai, isShared := idx[mo.Addr]
 			if !isShared {
 				if mo.IsRead() {
-					return nil, fmt.Errorf("%w: P%d reads private address %#x", ErrNotAnalyzable, p, mo.Addr)
+					return nil, nil, fmt.Errorf("%w: P%d reads private address %#x", ErrNotAnalyzable, p, mo.Addr)
 				}
 				continue // observation-slot store: no shared-memory effect
 			}
@@ -149,7 +156,7 @@ func NewOracle(progs []*isa.Program, shared []uint64, m core.Model) (*Oracle, er
 				if !d.IsConst() {
 					r, ok := readMap[d.FromLoad]
 					if !ok {
-						return nil, fmt.Errorf("%w: P%d store data from dropped read %d", ErrNotAnalyzable, p, d.FromLoad)
+						return nil, nil, fmt.Errorf("%w: P%d store data from dropped read %d", ErrNotAnalyzable, p, d.FromLoad)
 					}
 					d.FromLoad = r
 				}
@@ -160,14 +167,30 @@ func NewOracle(progs []*isa.Program, shared []uint64, m core.Model) (*Oracle, er
 				oop.read = reads
 				reads++
 			}
-			o.procs[p] = append(o.procs[p], oop)
-			if len(o.procs[p]) > 16 {
-				return nil, fmt.Errorf("%w: P%d has more than 16 shared ops", ErrNotAnalyzable, p)
+			procs[p] = append(procs[p], oop)
+			if len(procs[p]) > 16 {
+				return nil, nil, fmt.Errorf("%w: P%d has more than 16 shared ops", ErrNotAnalyzable, p)
 			}
 		}
-		o.nreads[p] = reads
+		nreads[p] = reads
 	}
-	return o, nil
+	return procs, nreads, nil
+}
+
+// NewLegacyOracle extracts the abstract program (see extractOps) and wires
+// up the superset search for model m.
+func NewLegacyOracle(progs []*isa.Program, shared []uint64, m core.Model) (*LegacyOracle, error) {
+	procs, nreads, err := extractOps(progs, shared)
+	if err != nil {
+		return nil, err
+	}
+	return &LegacyOracle{
+		model:     m,
+		procs:     procs,
+		naddr:     len(shared),
+		nreads:    nreads,
+		maxStates: maxOracleStates,
+	}, nil
 }
 
 // oracleState is the abstract machine state during the search.
@@ -205,26 +228,28 @@ func (st *oracleState) key() string {
 	return string(b)
 }
 
-// bound reports whether read-binding index r of processor p has performed.
-func (o *Oracle) bound(st *oracleState, p, r int) bool {
-	for i, op := range o.procs[p] {
+// readPerformed reports whether read-binding index r of processor p has its
+// perform bit set in mask.
+func readPerformed(procs [][]oracleOp, mask []uint32, p, r int) bool {
+	for i, op := range procs[p] {
 		if op.read == r {
-			return st.mask[p]&(1<<i) != 0
+			return mask[p]&(1<<i) != 0
 		}
 	}
 	return false
 }
 
-func (o *Oracle) resolve(st *oracleState, p int, d isa.DataRef) int64 {
+// resolveData evaluates a data reference against processor p's bindings.
+func resolveData(binds [][]int64, p int, d isa.DataRef) int64 {
 	if d.IsConst() {
 		return d.Const
 	}
-	return st.binds[p][d.FromLoad]
+	return binds[p][d.FromLoad]
 }
 
 // enabled reports whether op i of processor p may perform in state st, and
 // if it is a read that must forward, the index of the source store.
-func (o *Oracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
+func (o *LegacyOracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
 	ops := o.procs[p]
 	cur := ops[i]
 	mask := st.mask[p]
@@ -250,7 +275,7 @@ func (o *Oracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
 				return false, -1 // FIFO store buffer: same-address writes in order
 			}
 		}
-		if !cur.data.IsConst() && !o.bound(st, p, cur.data.FromLoad) {
+		if !cur.data.IsConst() && !readPerformed(o.procs, st.mask, p, cur.data.FromLoad) {
 			return false, -1 // store data not yet available
 		}
 		return true, -1
@@ -263,7 +288,7 @@ func (o *Oracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
 		if ops[j].op == isa.OpRMW {
 			return false, -1 // atomics never forward
 		}
-		if !ops[j].data.IsConst() && !o.bound(st, p, ops[j].data.FromLoad) {
+		if !ops[j].data.IsConst() && !readPerformed(o.procs, st.mask, p, ops[j].data.FromLoad) {
 			return false, -1 // forwarding source's data not yet available
 		}
 		return true, j
@@ -272,18 +297,18 @@ func (o *Oracle) enabled(st *oracleState, p, i int) (ok bool, fwd int) {
 }
 
 // perform applies op i of processor p to a copy of st and returns it.
-func (o *Oracle) perform(st *oracleState, p, i, fwd int) *oracleState {
+func (o *LegacyOracle) perform(st *oracleState, p, i, fwd int) *oracleState {
 	ns := st.clone()
 	op := o.procs[p][i]
 	switch {
 	case op.op == isa.OpRMW:
 		old := ns.mem[op.addr]
-		ns.mem[op.addr] = op.rmw.Apply(old, o.resolve(ns, p, op.data))
+		ns.mem[op.addr] = op.rmw.Apply(old, resolveData(ns.binds, p, op.data))
 		ns.binds[p][op.read] = old
 	case op.class.IsWrite():
-		ns.mem[op.addr] = o.resolve(ns, p, op.data)
+		ns.mem[op.addr] = resolveData(ns.binds, p, op.data)
 	case fwd >= 0:
-		ns.binds[p][op.read] = o.resolve(ns, p, o.procs[p][fwd].data)
+		ns.binds[p][op.read] = resolveData(ns.binds, p, o.procs[p][fwd].data)
 	default:
 		ns.binds[p][op.read] = ns.mem[op.addr]
 	}
@@ -292,8 +317,9 @@ func (o *Oracle) perform(st *oracleState, p, i, fwd int) *oracleState {
 }
 
 // Outcomes runs the exhaustive search and returns every outcome the model
-// allows.
-func (o *Oracle) Outcomes() (OutcomeSet, error) {
+// allows (plus the deliberate over-approximations documented above). A
+// state space above the cap is a hard error, never a truncated set.
+func (o *LegacyOracle) Outcomes() (OutcomeSet, error) {
 	o.memo = make(map[string]struct{})
 	o.out = make(OutcomeSet)
 	st := &oracleState{
@@ -310,13 +336,13 @@ func (o *Oracle) Outcomes() (OutcomeSet, error) {
 	return o.out, nil
 }
 
-func (o *Oracle) search(st *oracleState) error {
+func (o *LegacyOracle) search(st *oracleState) error {
 	k := st.key()
 	if _, seen := o.memo[k]; seen {
 		return nil
 	}
-	if len(o.memo) >= maxOracleStates {
-		return fmt.Errorf("conformance: oracle state space exceeds %d states", maxOracleStates)
+	if len(o.memo) >= o.maxStates {
+		return fmt.Errorf("conformance: oracle state space exceeds %d states", o.maxStates)
 	}
 	o.memo[k] = struct{}{}
 	done := true
@@ -357,10 +383,10 @@ func outcomeString(binds [][]int64, mem []int64) string {
 	return b.String()
 }
 
-// ModelOutcomes is the one-call convenience wrapper: extract, search,
-// return the outcome set for model m.
-func ModelOutcomes(progs []*isa.Program, shared []uint64, m core.Model) (OutcomeSet, error) {
-	o, err := NewOracle(progs, shared, m)
+// LegacyModelOutcomes is the one-call convenience wrapper for the superset
+// oracle: extract, search, return the outcome set for model m.
+func LegacyModelOutcomes(progs []*isa.Program, shared []uint64, m core.Model) (OutcomeSet, error) {
+	o, err := NewLegacyOracle(progs, shared, m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/sim"
+)
+
+// singleWriterPerAddr reports whether every shared address in p is written
+// by at most one processor. For such programs the final value of each
+// address is fixed by that writer's program order (the store buffer drains
+// in FIFO order and coherence serializes same-line writes), so final
+// memory is independent of interleaving — and in particular of the
+// coherence protocol.
+func singleWriterPerAddr(p Program) bool {
+	writer := map[int]int{}
+	for proc, ops := range p.Ops {
+		for _, op := range ops {
+			switch op.Kind {
+			case KStore, KRelease, KRMW:
+				if w, ok := writer[op.Addr]; ok && w != proc {
+					return false
+				}
+				writer[op.Addr] = proc
+			}
+		}
+	}
+	return true
+}
+
+// TestProtocolFinalMemoryEquiv is the MSI≡MESI observational-equivalence
+// property: on single-writer-per-address programs the two protocols must
+// agree on final memory exactly, cell by cell. MESI only elides traffic
+// (exclusive-clean grants, silent evictions); it must never change what
+// ends up in memory.
+func TestProtocolFinalMemoryEquiv(t *testing.T) {
+	cells := []struct {
+		model core.Model
+		tech  TechCell
+	}{
+		{core.SC, GridTechs()[0]}, // conv
+		{core.SC, GridTechs()[3]}, // pf+spec
+		{core.RC, GridTechs()[0]}, // conv
+		{core.RC, GridTechs()[3]}, // pf+spec
+	}
+	const want = 40
+	checked := 0
+	for seed := int64(1); checked < want; seed++ {
+		if seed > 10*want {
+			t.Fatalf("only %d single-writer programs in %d seeds", checked, seed-1)
+		}
+		p := Generate(seed, Params{})
+		if p.NumOps() == 0 || !singleWriterPerAddr(p) {
+			continue
+		}
+		checked++
+		for _, c := range cells {
+			var mem [2]string
+			for i, proto := range []coherence.Protocol{coherence.ProtoInvalidate, coherence.ProtoMESI} {
+				res, err := runCell(p, p.Build(), c.model, c.tech.Tech, proto, sim.PaperConfig(), false, CheckOptions{})
+				if err != nil {
+					t.Fatalf("seed %d %v/%s/%s: %v", seed, c.model, c.tech.Name, protoName(proto), err)
+				}
+				idx := strings.LastIndex(res.outcome, " mem:")
+				if idx < 0 {
+					t.Fatalf("seed %d: outcome %q has no memory suffix", seed, res.outcome)
+				}
+				mem[i] = res.outcome[idx:]
+			}
+			if mem[0] != mem[1] {
+				t.Errorf("seed %d %v/%s: final memory diverges between protocols\nmsi: %q\nmesi: %q\nprogram:\n%v",
+					seed, c.model, c.tech.Name, mem[0], mem[1], p)
+			}
+		}
+	}
+}

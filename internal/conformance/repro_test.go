@@ -28,3 +28,25 @@ func TestReproDeferredInvSuperseded(t *testing.T) {
 		t.Errorf("%v", v)
 	}
 }
+
+// TestReproForwardedLoadStaleAfterPerform is the minimized reproducer from
+// generator seed 288 (found widening the conform batch to 512). P0's final
+// acquire forwards 2 from its own release while the release is still
+// buffered; the release then performs, P1's store to the same address
+// invalidates the line, and the forwarded load — permanently exempt from
+// coherence matches at the time — retired the stale 2 even though its
+// older stores performed after P1's write, a non-SC outcome under SC (and
+// a detector miss under every model with the prefetch technique). The fix
+// ends the forwarding exemption when the source store completes
+// (internal/core/lsu.go storeCompleted; pinned as a unit test in
+// TestForwardedLoadSquashedAfterStorePerforms).
+func TestReproForwardedLoadStaleAfterPerform(t *testing.T) {
+	p := Program{NAddr: 2, Ops: [][]Op{
+		{{Kind: KRelease, Addr: 0, Val: 2}, {Kind: KStore, Addr: 1, Val: 3}, {Kind: KStore, Addr: 1, Val: 4}, {Kind: KAcquire, Addr: 0}},
+		{{Kind: KStore, Addr: 0, Val: 5}, {Kind: KRMW, Addr: 1, Val: 6, RMW: isa.RMWFetchAdd}},
+	}}
+	_, viols := CheckProgram(p, CheckOptions{})
+	for _, v := range viols {
+		t.Errorf("%v", v)
+	}
+}

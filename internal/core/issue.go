@@ -308,6 +308,7 @@ func (u *LSU) issueLoad(e *Entry, now uint64) (usedPort, blocked bool) {
 		id := u.newID(e, roleDemand)
 		e.issued = true
 		e.forwarded = true
+		e.fwdFrom = fwd
 		u.forwards = append(u.forwards, forwardCompletion{at: now + u.cfg.ForwardLatency, id: id, value: fwd.data})
 		u.popLoadQ(e)
 		if u.cfg.Tech.SpecLoad {

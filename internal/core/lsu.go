@@ -101,8 +101,9 @@ type Entry struct {
 	specValue  int64
 
 	prefetched  bool
-	ownershipOK bool // Adve-Hill: exclusive ownership acquired
-	forwarded   bool // load satisfied by store-buffer forwarding
+	ownershipOK bool   // Adve-Hill: exclusive ownership acquired
+	forwarded   bool   // load satisfied by store-buffer forwarding
+	fwdFrom     *Entry // the buffered store the value came from
 
 	// squashedAfterIssue marks an RMW whose speculative value was squashed
 	// after the atomic was already issued: the atomic's return value must be
@@ -523,16 +524,29 @@ func (u *LSU) AccessOwnership(id uint64, now uint64) {
 
 // storeCompleted nullifies speculative-load-buffer store tags naming the
 // completed store (paper §4.2: "When a store completes, its corresponding
-// tag in the speculative-load buffer is nullified if present").
+// tag in the speculative-load buffer is nullified if present"). Loads that
+// forwarded their value from this store also lose their coherence-event
+// exemption here: while the store was buffered the forwarded value was
+// guaranteed by the store's own future perform, but from now on a remote
+// write to the line can make the value stale before the load retires, so
+// the load must match coherence traffic like any other speculated load.
 func (u *LSU) storeCompleted(e *Entry, now uint64) {
 	for _, s := range u.spec {
 		if s.storeTag == e {
 			s.storeTag = nil
 		}
+		if s.e.fwdFrom == e {
+			s.e.forwarded = false
+			s.e.fwdFrom = nil
+		}
 	}
 	for _, s := range u.monitor {
 		if s.storeTag == e {
 			s.storeTag = nil
+		}
+		if s.e.fwdFrom == e {
+			s.e.forwarded = false
+			s.e.fwdFrom = nil
 		}
 	}
 }
@@ -587,8 +601,10 @@ func (u *LSU) CoherenceEvent(line uint64, kind cache.EventKind, now uint64) {
 			continue
 		}
 		if s.e.forwarded {
-			// Value came from our own store buffer; coherence traffic
-			// cannot invalidate it.
+			// Value came from a store still sitting in our own store
+			// buffer: the store's future perform guarantees the value, so
+			// coherence traffic cannot invalidate it. The exemption ends
+			// when the source store completes (storeCompleted).
 			continue
 		}
 		u.Stats.Counter("spec_matches").Inc()
@@ -647,6 +663,7 @@ func (u *LSU) reissue(e *Entry) {
 	e.issued = false
 	e.Done = false
 	e.forwarded = false
+	e.fwdFrom = nil
 	// Entry is still in loadQ order? It left loadQ at issue; re-queue at
 	// the correct program-order position.
 	pos := len(u.loadQ)

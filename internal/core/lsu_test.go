@@ -337,6 +337,39 @@ func TestForwardedLoadImmuneToCoherence(t *testing.T) {
 	}
 }
 
+// TestForwardedLoadSquashedAfterStorePerforms pins the limit of the
+// forwarding exemption: it holds only while the source store sits in the
+// store buffer. Once that store performs, a remote write can slide in
+// between the store and the load's retirement, so an invalidation for the
+// line must squash the forwarded load like any other completed speculated
+// load. (Found by conform seed 288: a release/store/store/acquire program
+// retired an acquire bound to its own already-performed release while the
+// line held a newer remote value — a non-SC outcome under SC.)
+func TestForwardedLoadSquashedAfterStorePerforms(t *testing.T) {
+	r := newRig(t, Config{Model: SC, Tech: Technique{SpecLoad: true}})
+	r.lsu.Dispatch(1, st(0x100), true, 0, true, 5)
+	r.lsu.Dispatch(2, st(0x200), true, 0, true, 7)
+	r.lsu.Dispatch(3, ld(0x100), true, 0, true, 0)
+	r.run(3)
+	if v := r.cpu.loads[3]; v != 5 {
+		t.Fatalf("forward = %d, want 5", v)
+	}
+	// The source store performs; the second store never reaches the head,
+	// keeping the forwarded load buffered and unretired.
+	r.lsu.StoreAtHead(1)
+	r.run(40)
+	if !r.cpu.stores[1] {
+		t.Fatal("source store never completed")
+	}
+	r.lsu.CoherenceEvent(0x100, cache.EvInvalidate, r.cycle)
+	if len(r.cpu.flushes) != 1 || r.cpu.flushes[0] != 3 {
+		t.Fatalf("squash flush = %v, want [3]", r.cpu.flushes)
+	}
+	if r.lsu.Stats.Counter("spec_squashes").Value() != 1 {
+		t.Error("squash not counted")
+	}
+}
+
 func TestAdveHillOwnershipUnblocks(t *testing.T) {
 	r := newRig(t, Config{Model: SC, Tech: Technique{AdveHill: true}})
 	e := r.lsu.Dispatch(1, st(0x100), true, 0, true, 5)

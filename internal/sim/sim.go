@@ -115,6 +115,13 @@ func RegisterParallelRunner(f func(s *System, workers int) (uint64, bool, error)
 	parallelRunner = f
 }
 
+// BaseProtocol is the invalidation-family protocol PaperConfig installs:
+// coherence.ProtoInvalidate (MSI, the seed default) or coherence.ProtoMESI.
+// cmd/sweep -protocol rebinds it so every sweep runs on the chosen
+// protocol; experiments that set Config.Protocol explicitly (the
+// update-vs-invalidation comparison) are unaffected.
+var BaseProtocol = coherence.ProtoInvalidate
+
 // PaperConfig reproduces the abstract machine of the paper's examples:
 // 1-cycle cache hits, 100-cycle misses (45+10+45), one access accepted per
 // cycle, free instruction supply, single-word lines so the examples never
@@ -123,7 +130,7 @@ func PaperConfig() Config {
 	return Config{
 		Procs:      1,
 		Model:      core.SC,
-		Protocol:   coherence.ProtoInvalidate,
+		Protocol:   BaseProtocol,
 		LineWords:  1,
 		NetLatency: 45,
 		MemLatency: 10,
