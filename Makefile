@@ -34,14 +34,18 @@ race:
 	$(GO) test -race ./...
 
 # The differential tier: the idle-cycle fast-forward scheduler, the
-# conservative parallel engine, machine snapshot/restore, and the
-# warmup-snapshot cache must all be observationally identical to the plain
-# sequential cold-start run — across the model x technique grid, every
-# execution engine, shard-worker counts {2,4,8}, the full experiment suite
-# in every output format with the cache on and off, a conformance batch,
-# and the Figure 5 cycle-level trace.
+# conservative and optimistic (rollback) parallel engines, machine
+# snapshot/restore, and the warmup-snapshot cache must all be
+# observationally identical to the plain sequential cold-start run —
+# across the model x technique grid, every execution engine, shard-worker
+# counts {2,4,8}, the full experiment suite in every output format with
+# the cache on and off, a conformance batch, and the Figure 5 cycle-level
+# trace. The second leg re-checks a conformance batch with every
+# simulation sharded by the optimistic engine: verdicts must be identical
+# to the sequential run at every worker count.
 differential:
 	$(GO) test -run 'TestFastForward|TestParallelEngine|TestSnapshot|TestWarmupCache' ./internal/sim ./internal/experiments ./internal/parsim ./internal/runner
+	$(GO) run ./cmd/conform -seed 1 -n 32 -quick -par 4 -engine optimistic -quiet
 
 # The conformance tier: a smoke batch of generated litmus programs checked
 # against the exact per-model oracles across the model x technique x

@@ -22,6 +22,7 @@
 //	-topo T   interconnect: uniform (default), mesh, or mesh:WxH
 //	-j N      worker-pool size (<=0 means all CPUs)
 //	-par N    shard each simulation across up to N goroutines
+//	-engine E parallel shard engine: auto (default), conservative, optimistic
 //	-quick    paper timing only (the fuzz target's reduced grid)
 //	-protocol coherence-protocol axis: both (default), msi, or mesi
 //	-quiet    suppress the progress line on stderr
@@ -46,17 +47,18 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "first generator seed")
-		n     = flag.Int("n", 64, "number of programs to check")
-		procs = flag.Int("procs", 0, "processors per program (0 = random 2-3)")
-		ops   = flag.Int("ops", 0, "max operations per processor (0 = default)")
-		jobs  = flag.Int("j", runtime.NumCPU(), "worker-pool size (<=0 means all CPUs)")
-		par   = flag.Int("par", 1, "shard each simulation across up to N goroutines (verdicts are identical for every N)")
-		quick = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
-		cpus  = flag.Int("cpus", 0, "pad the machine to this many processors (extra CPUs halt immediately; 0 = program size)")
-		topo  = flag.String("topo", "", "interconnect for every cell: uniform (default), mesh, or mesh:WxH")
-		proto = flag.String("protocol", "both", "coherence-protocol axis: both, msi, or mesi")
-		quiet = flag.Bool("quiet", false, "suppress progress on stderr")
+		seed   = flag.Int64("seed", 1, "first generator seed")
+		n      = flag.Int("n", 64, "number of programs to check")
+		procs  = flag.Int("procs", 0, "processors per program (0 = random 2-3)")
+		ops    = flag.Int("ops", 0, "max operations per processor (0 = default)")
+		jobs   = flag.Int("j", runtime.NumCPU(), "worker-pool size (<=0 means all CPUs)")
+		par    = flag.Int("par", 1, "shard each simulation across up to N goroutines (verdicts are identical for every N)")
+		engine = flag.String("engine", "auto", "parallel shard engine: auto, conservative, or optimistic")
+		quick  = flag.Bool("quick", false, "paper timing only instead of the full timing axis")
+		cpus   = flag.Int("cpus", 0, "pad the machine to this many processors (extra CPUs halt immediately; 0 = program size)")
+		topo   = flag.String("topo", "", "interconnect for every cell: uniform (default), mesh, or mesh:WxH")
+		proto  = flag.String("protocol", "both", "coherence-protocol axis: both, msi, or mesi")
+		quiet  = flag.Bool("quiet", false, "suppress progress on stderr")
 	)
 	flag.Parse()
 	var protocols []coherence.Protocol
@@ -79,6 +81,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "conform:", err)
 			os.Exit(2)
 		}
+	}
+	switch *engine {
+	case "auto", "conservative", "optimistic":
+		sim.ParEngine = *engine
+	default:
+		fmt.Fprintf(os.Stderr, "conform: unknown -engine %q (want auto, conservative, or optimistic)\n", *engine)
+		os.Exit(2)
 	}
 	sim.ParWorkers = *par
 	if *par > 1 {

@@ -63,10 +63,13 @@ func main() {
 		showStats = flag.Bool("stats", false, "print component statistics after the run")
 		disasm    = flag.Bool("disasm", false, "print the program(s) before running")
 		dense     = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
-		par       = flag.Int("par", 1, "shard the simulation across up to N goroutines (node-level conservative parallelism; results are byte-identical for every N)")
+		par       = flag.Int("par", 1, "shard the simulation across up to N goroutines (results are byte-identical for every N)")
+		engine    = flag.String("engine", "auto", "parallel engine with -par: auto, conservative, or optimistic (all byte-identical)")
 		schedWant = flag.Bool("schedstats", false, "print the parallel scheduler's per-shard counters after the run (requires -par > 1)")
 		saveState = flag.String("save-state", "", "write a machine snapshot to this file (after warmup if the workload has one, else after the run)")
-		loadState = flag.String("load-state", "", "restore the machine from this snapshot instead of simulating the warmup")
+		loadState = flag.String("load-state", "", "restore the machine from this snapshot instead of simulating the warmup; a mid-flight checkpoint resumes in place")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "with -save-state: overwrite the snapshot file with a mid-flight checkpoint every N cycles of the measured phase (drives the sequential loop)")
+		stopAt    = flag.Uint64("stop-at", 0, "stop the measured phase at this absolute cycle; with -save-state, leaves a mid-flight checkpoint that -load-state resumes")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the measured phase only)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -75,6 +78,12 @@ func main() {
 
 	sim.ForceDense = *dense
 	sim.ParWorkers = *par
+	switch *engine {
+	case "auto", "conservative", "optimistic":
+		sim.ParEngine = *engine
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want auto, conservative or optimistic)", *engine))
+	}
 	if *par > 1 {
 		// The engine's worker pool takes the caller's goroutine plus extras
 		// from this budget; honor an explicit -par above the core count.
@@ -137,12 +146,24 @@ func main() {
 	switch {
 	case *loadState != "":
 		s = restoreState(*loadState, cfg, len(progs))
-		s.Cfg.Model = cfg.Model
-		s.Cfg.Tech = cfg.Tech
-		// The snapshot's memory image is authoritative: it already holds
-		// the preload (applied before the warmup that produced it) plus
-		// everything the warmup wrote, so it is not re-applied here.
-		s.LoadPrograms(progs)
+		if s.Done() {
+			s.Cfg.Model = cfg.Model
+			s.Cfg.Tech = cfg.Tech
+			// The snapshot's memory image is authoritative: it already holds
+			// the preload (applied before the warmup that produced it) plus
+			// everything the warmup wrote, so it is not re-applied here.
+			s.LoadPrograms(progs)
+		} else if s.Cfg.Model != cfg.Model || s.Cfg.Tech != cfg.Tech {
+			// A mid-flight checkpoint resumes the captured pipelines in
+			// place, so model and technique are pinned by the snapshot just
+			// like the structural flags.
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "model", "prefetch", "spec", "reissue", "advehill", "detect-sc":
+					fatal(fmt.Errorf("load-state: -%s conflicts with the mid-flight machine saved in %s", f.Name, *loadState))
+				}
+			})
+		}
 	case warmups != nil:
 		s = sim.New(cfg, warmups)
 		s.Preload(preload)
@@ -167,8 +188,42 @@ func main() {
 	}
 	defer stopProf()
 
-	cycles, err := s.Run()
-	if err != nil {
+	var cycles uint64
+	finished := true
+	if *ckptEvery > 0 || *stopAt > 0 {
+		if *ckptEvery > 0 && *saveState == "" {
+			fatal(fmt.Errorf("-checkpoint-every requires -save-state"))
+		}
+		for {
+			target := *stopAt
+			if *ckptEvery > 0 {
+				target = s.Cycle + *ckptEvery
+				if *stopAt > 0 && target > *stopAt {
+					target = *stopAt
+				}
+			}
+			done, err := s.RunUntil(target)
+			if err != nil {
+				fatal(err)
+			}
+			if *saveState != "" {
+				writeState(s, *saveState)
+				savedPostWarmup = true // the loop's last write wins
+			}
+			if done {
+				break
+			}
+			if *stopAt > 0 && s.Cycle >= *stopAt {
+				finished = false
+				break
+			}
+		}
+		if finished {
+			cycles = s.HaltCycle() - s.BaseCycle()
+		} else {
+			cycles = s.Cycle - s.BaseCycle()
+		}
+	} else if cycles, err = s.Run(); err != nil {
 		fatal(err)
 	}
 	if *saveState != "" && !savedPostWarmup {
@@ -180,8 +235,12 @@ func main() {
 	}
 	fmt.Printf("workload=%s model=%v tech=%v protocol=%v miss=%d procs=%d topo=%s\n",
 		*wl, m, cfg.Tech, cfg.Protocol, cfg.MissLatency(), cfg.Procs, topoName)
-	fmt.Printf("cycles: %d\n", cycles)
-	if *detectSC {
+	if finished {
+		fmt.Printf("cycles: %d\n", cycles)
+	} else {
+		fmt.Printf("cycles: %d (stopped mid-flight; resume with -load-state)\n", cycles)
+	}
+	if *detectSC && finished {
 		var det uint64
 		for _, u := range s.LSUs {
 			det += u.SCViolations()
@@ -192,7 +251,7 @@ func main() {
 			fmt.Printf("sc-detector: %d possible SC violations (program has data races)\n", det)
 		}
 	}
-	if check != nil {
+	if check != nil && finished {
 		check(s)
 	}
 	if *showStats {
@@ -202,7 +261,7 @@ func main() {
 	if *schedWant {
 		fmt.Println()
 		if s.ParReport == "" {
-			fmt.Println("parsim: sequential run (use -par N with N > 1; zero-latency networks and traced runs always fall back)")
+			fmt.Println("parsim: sequential run (use -par N with N > 1; zero-latency networks and traced runs always fall back, whichever -engine is asked for)")
 		} else {
 			fmt.Print(s.ParReport)
 		}
@@ -283,7 +342,7 @@ func buildWorkload(name string, procs int, seed int64) (progs, warmups []*isa.Pr
 	}
 }
 
-// writeState snapshots the machine (which must be quiescent) to a file.
+// writeState snapshots the machine (quiescent or mid-flight) to a file.
 func writeState(s *sim.System, path string) {
 	m, err := s.Snapshot()
 	if err != nil {

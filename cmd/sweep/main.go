@@ -34,6 +34,8 @@
 //	                  (default true; output is byte-identical either way)
 //	-protocol P       base coherence protocol, msi (default) or mesi;
 //	                  experiments with their own protocol axis are unaffected
+//	-engine E         parallel shard engine for -par: auto (default),
+//	                  conservative, or optimistic (output is identical)
 //	-cpuprofile FILE  write a pprof CPU profile
 //	-memprofile FILE  write a pprof heap profile at exit
 //
@@ -71,6 +73,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		dense   = flag.Bool("dense", false, "disable the idle-cycle fast-forward scheduler (step every cycle)")
 		par     = flag.Int("par", 1, "shard each simulation across up to N goroutines (output stays byte-identical for every N)")
+		engine  = flag.String("engine", "auto", "parallel shard engine: auto, conservative, or optimistic")
 		snapC   = flag.Bool("snapshot-cache", true, "simulate each distinct warmup phase once and clone it via machine snapshots (output stays byte-identical either way)")
 		proto   = flag.String("protocol", "msi", "base coherence protocol for experiments that do not set their own: msi or mesi")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,6 +87,13 @@ func main() {
 		sim.BaseProtocol = coherence.ProtoMESI
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown -protocol %q (want msi or mesi)\n", *proto)
+		os.Exit(1)
+	}
+	switch *engine {
+	case "auto", "conservative", "optimistic":
+		sim.ParEngine = *engine
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -engine %q (want auto, conservative, or optimistic)\n", *engine)
 		os.Exit(1)
 	}
 	sim.ForceDense = *dense

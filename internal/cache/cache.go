@@ -272,6 +272,12 @@ type Cache struct {
 	// they retry each Tick.
 	retryInstalls []*mshr
 
+	// mshrPool / wbPool are RestoreState scratch: the discarded state's
+	// objects, collected for in-place reuse (rollback restores once per
+	// mis-speculated window, so this path must stay off the allocator).
+	mshrPool []*mshr
+	wbPool   []*wbEntry
+
 	// NST bypass mode (paper §6 Stenstrom comparator).
 	bypass         bool
 	nstOutstanding int

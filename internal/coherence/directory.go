@@ -93,6 +93,10 @@ type Directory struct {
 	lines    map[uint64]*dirLine
 	Stats    *stats.Set
 
+	// linePool is RestoreState scratch: the discarded table's dirLine
+	// objects, collected for in-place reuse on the rollback path.
+	linePool []*dirLine
+
 	// sharerCfg selects exact vs limited-pointer/coarse sharer tracking
 	// (ConfigureSharers); the zero value is the seed's unbounded exact list.
 	sharerCfg sharerConfig

@@ -98,6 +98,10 @@ type Endpoint struct {
 	out   []pendingSend
 	free  []*Message
 
+	// scratch is Rollback's staging area for the leftover inbox pointers it
+	// reuses while rebuilding the inbox from a checkpoint.
+	scratch []*Message
+
 	ctx sendKey // ambient (cycle, phase, major); ord appended per send
 	ord uint64
 

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
 	"mcmsim/internal/parsim"
 	"mcmsim/internal/sim"
+	"mcmsim/internal/workload"
 )
 
 // benchmarkShards runs the largest E2-style row — the 8-processor mixed
@@ -58,3 +60,119 @@ func BenchmarkParallelShards1(b *testing.B) { benchmarkShards(b, 1) }
 func BenchmarkParallelShards2(b *testing.B) { benchmarkShards(b, 2) }
 func BenchmarkParallelShards4(b *testing.B) { benchmarkShards(b, 4) }
 func BenchmarkParallelShards8(b *testing.B) { benchmarkShards(b, 8) }
+
+// benchmarkMeshShards is the low-lookahead scaling benchmark: the
+// wide-sharing workload on a 16-CPU mesh with 1-cycle hops, where the
+// conservative engine's window collapses to a single cycle (a global
+// barrier per simulated cycle). engine selects the shard engine; par=1 is
+// the sequential fast-forward loop.
+func benchmarkMeshShards(b *testing.B, par int, engine string) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 16
+	cfg.Model = core.RC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	cfg.Topo = "mesh"
+	cfg.HopLatency = 1
+	cfg.MemModules = 16
+	cfg.DirPointers = 8
+	progs := wideProgs(16, 4, 4)
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(cfg, progs)
+		var cycles uint64
+		var err error
+		switch {
+		case par <= 1:
+			cycles, err = s.Run()
+		case engine == "optimistic":
+			var handled bool
+			cycles, handled, err = parsim.RunOptimistic(s, par)
+			if !handled {
+				b.Fatal("optimistic engine declined the benchmark config")
+			}
+		default:
+			var handled bool
+			cycles, handled, err = parsim.Run(s, par)
+			if !handled {
+				b.Fatal("conservative engine declined the benchmark config")
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = cycles
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+func BenchmarkMeshShards1(b *testing.B)       { benchmarkMeshShards(b, 1, "") }
+func BenchmarkMeshShards2(b *testing.B)       { benchmarkMeshShards(b, 2, "conservative") }
+func BenchmarkMeshShards4(b *testing.B)       { benchmarkMeshShards(b, 4, "conservative") }
+func BenchmarkMeshShards8(b *testing.B)       { benchmarkMeshShards(b, 8, "conservative") }
+func BenchmarkOptimisticShards2(b *testing.B) { benchmarkMeshShards(b, 2, "optimistic") }
+func BenchmarkOptimisticShards4(b *testing.B) { benchmarkMeshShards(b, 4, "optimistic") }
+func BenchmarkOptimisticShards8(b *testing.B) { benchmarkMeshShards(b, 8, "optimistic") }
+
+// benchmarkMeshBarrier is the bulk-synchronous low-lookahead benchmark:
+// four CPUs on a memory-rich 1-cycle-hop mesh, each computing a long
+// data-parallel phase on private lines (warm after a cold-miss trickle)
+// and meeting at a sense-reversing barrier. The conservative engine's
+// window collapses to one cycle on this machine, so it pays a work
+// selection scan, a dispatch and a global barrier per simulated cycle of
+// the compute stretch; the optimistic engine commits the same stretches
+// in horizon-sized windows off a single checkpoint — the workload shape
+// Time Warp optimism is built for.
+func benchmarkMeshBarrier(b *testing.B, par int, engine string) {
+	const procs = 4
+	cfg := sim.RealisticConfig()
+	cfg.Procs = procs
+	cfg.Model = core.RC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	cfg.Topo = "mesh"
+	cfg.HopLatency = 1
+	cfg.MemModules = 16
+	cfg.DirPointers = 8
+	progs := make([]*isa.Program, procs)
+	for p := range progs {
+		progs[p] = workload.BarrierPhases(p, procs, 1, 32768)
+	}
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(cfg, progs)
+		var cycles uint64
+		var err error
+		switch {
+		case par <= 1:
+			cycles, err = s.Run()
+		case engine == "optimistic":
+			var handled bool
+			cycles, handled, err = parsim.RunOptimistic(s, par)
+			if !handled {
+				b.Fatal("optimistic engine declined the benchmark config")
+			}
+		default:
+			var handled bool
+			cycles, handled, err = parsim.Run(s, par)
+			if !handled {
+				b.Fatal("conservative engine declined the benchmark config")
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = cycles
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+func BenchmarkMeshBarrier1(b *testing.B)       { benchmarkMeshBarrier(b, 1, "") }
+func BenchmarkMeshBarrier2(b *testing.B)       { benchmarkMeshBarrier(b, 2, "conservative") }
+func BenchmarkMeshBarrier4(b *testing.B)       { benchmarkMeshBarrier(b, 4, "conservative") }
+func BenchmarkMeshBarrier8(b *testing.B)       { benchmarkMeshBarrier(b, 8, "conservative") }
+func BenchmarkOptimisticBarrier2(b *testing.B) { benchmarkMeshBarrier(b, 2, "optimistic") }
+func BenchmarkOptimisticBarrier4(b *testing.B) { benchmarkMeshBarrier(b, 4, "optimistic") }
+func BenchmarkOptimisticBarrier8(b *testing.B) { benchmarkMeshBarrier(b, 8, "optimistic") }

@@ -1,0 +1,318 @@
+package parsim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcmsim/internal/coherence"
+	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
+	"mcmsim/internal/parsim"
+	"mcmsim/internal/sim"
+)
+
+// runOpt runs cfg through the optimistic engine and fails the test if the
+// engine declined the configuration.
+func runOpt(t testing.TB, cfg sim.Config, progs []*isa.Program, par int) runResult {
+	t.Helper()
+	s := sim.New(cfg, progs)
+	cycles, handled, err := parsim.RunOptimistic(s, par)
+	if !handled {
+		t.Fatalf("optimistic engine declined par=%d (latency=%d)", par, cfg.NetLatency)
+	}
+	if err != nil {
+		t.Fatalf("optimistic run par=%d: %v", par, err)
+	}
+	return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+}
+
+// TestParallelEngineOptimisticMatchesSequential is the differential gate
+// for the optimistic (Time Warp) engine on the uniform network: across the
+// model x technique grid, in both dense and fast-forward mode, rollback
+// and replay must reproduce the sequential run exactly — halt cycle, final
+// clock, every stats counter, and the coherent memory image — for every
+// worker count.
+func TestParallelEngineOptimisticMatchesSequential(t *testing.T) {
+	for _, m := range core.AllModels {
+		for _, tc := range techniques {
+			for _, dense := range []bool{false, true} {
+				mode := "ff"
+				if dense {
+					mode = "dense"
+				}
+				t.Run(fmt.Sprintf("%v/%s/%s", m, tc.name, mode), func(t *testing.T) {
+					cfg := sim.RealisticConfig()
+					cfg.Procs = 3
+					cfg.Model = m
+					cfg.Tech = tc.tech
+					cfg.DenseLoop = dense
+					progs := mixProgs(3, 7)
+					seq := runSeq(t, cfg, progs)
+					for _, par := range []int{2, 4, 8} {
+						diffResults(t, fmt.Sprintf("par=%d", par), seq, runOpt(t, cfg, progs, par))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelEngineOptimisticMesh is the low-lookahead differential: a
+// mesh with per-hop latency has a 1-cycle conservative window, so nearly
+// every optimistic window ends in a straggler rollback (the scheduler
+// counters prove it below). Replayed windows must still commit the exact
+// sequential send order for every worker count.
+func TestParallelEngineOptimisticMesh(t *testing.T) {
+	for _, m := range []core.Model{core.SC, core.RC} {
+		for _, tc := range techniques {
+			t.Run(fmt.Sprintf("%v/%s", m, tc.name), func(t *testing.T) {
+				cfg := sim.RealisticConfig()
+				cfg.Procs = 16
+				cfg.Model = m
+				cfg.Tech = tc.tech
+				cfg.Topo = "mesh"
+				cfg.MemModules = 16
+				cfg.DirPointers = 8
+				progs := wideProgs(16, 3, 3)
+				seq := runSeq(t, cfg, progs)
+				for _, par := range []int{2, 4, 8} {
+					diffResults(t, fmt.Sprintf("par=%d", par), seq, runOpt(t, cfg, progs, par))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEngineOptimisticMeshCongested raises link contention (LinkGap
+// 4, a narrow 2x8 mesh, two home columns) so queueing state dominates
+// arrival times; Probe evaluates arrivals on a scratch copy of exactly that
+// state, so congested replays are the hardest byte-identity case.
+func TestParallelEngineOptimisticMeshCongested(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 16
+	cfg.Model = core.SC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	cfg.Topo = "mesh:2x8"
+	cfg.LinkGap = 4
+	cfg.MemModules = 2
+	cfg.DirPointers = 4
+	progs := wideProgs(16, 4, 2)
+	seq := runSeq(t, cfg, progs)
+	for _, par := range []int{2, 8} {
+		diffResults(t, fmt.Sprintf("par=%d", par), seq, runOpt(t, cfg, progs, par))
+	}
+}
+
+// TestParallelEngineOptimisticMESI pins the protocol axis: exclusive-clean
+// grants and silent MESI evictions are directory/cache transients the
+// rollback checkpoints must capture exactly, on both network shapes.
+func TestParallelEngineOptimisticMESI(t *testing.T) {
+	t.Run("uniform", func(t *testing.T) {
+		cfg := sim.RealisticConfig()
+		cfg.Procs = 3
+		cfg.Model = core.RC
+		cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+		cfg.Protocol = coherence.ProtoMESI
+		progs := mixProgs(3, 7)
+		seq := runSeq(t, cfg, progs)
+		for _, par := range []int{2, 4, 8} {
+			diffResults(t, fmt.Sprintf("par=%d", par), seq, runOpt(t, cfg, progs, par))
+		}
+	})
+	t.Run("mesh", func(t *testing.T) {
+		cfg := sim.RealisticConfig()
+		cfg.Procs = 16
+		cfg.Model = core.SC
+		cfg.Tech = core.Technique{Prefetch: true}
+		cfg.Protocol = coherence.ProtoMESI
+		cfg.Topo = "mesh"
+		cfg.MemModules = 16
+		cfg.DirPointers = 8
+		progs := wideProgs(16, 3, 3)
+		seq := runSeq(t, cfg, progs)
+		for _, par := range []int{2, 4} {
+			diffResults(t, fmt.Sprintf("par=%d", par), seq, runOpt(t, cfg, progs, par))
+		}
+	})
+}
+
+// TestParallelEngineOptimisticScheduledWrites covers the external-write
+// agent under rollback: injected writes live in the agent's inbox, so a
+// rollback must restore them (checkpointed by value) without double-applying
+// any write the aborted run-ahead already performed.
+func TestParallelEngineOptimisticScheduledWrites(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.Model = core.SC
+	progs := mixProgs(2, 3)
+	writes := []sim.ScheduledWrite{
+		{Cycle: 0, Addr: 64, Value: 7},
+		{Cycle: 10, Addr: 4, Value: 9},
+		{Cycle: 500, Addr: 8, Value: -2},
+		{Cycle: 501, Addr: 64, Value: 5},
+	}
+	runOne := func(par int) runResult {
+		s := sim.New(cfg, progs)
+		s.ScheduleWrites(writes)
+		if par <= 1 {
+			cycles, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+		}
+		cycles, handled, err := parsim.RunOptimistic(s, par)
+		if !handled || err != nil {
+			t.Fatalf("par=%d handled=%v err=%v", par, handled, err)
+		}
+		return runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+	}
+	seq := runOne(1)
+	for _, par := range []int{2, 4} {
+		diffResults(t, fmt.Sprintf("par=%d", par), seq, runOne(par))
+	}
+}
+
+// TestParallelEngineOptimisticMidFlight covers the capability the
+// conservative engine lacks: a machine with deliveries already in flight
+// (stopped mid-run). The conservative engine must decline it; the
+// optimistic engine absorbs the pending messages and must finish the run
+// byte-identically to the sequential continuation.
+func TestParallelEngineOptimisticMidFlight(t *testing.T) {
+	cfg := sim.RealisticConfig().WithMissLatency(100)
+	cfg.Procs = 4
+	cfg.Model = core.RC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	progs := mixProgs(4, 11)
+
+	finish := func(stop uint64, par int) runResult {
+		s := sim.New(cfg, progs)
+		done, err := s.RunUntil(stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatalf("machine finished before cycle %d; pick an earlier stop", stop)
+		}
+		if par <= 1 {
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return runResult{s.HaltCycle() - s.BaseCycle(), s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+		}
+		sim.ParEngine = "conservative"
+		handled2, err2 := func() (bool, error) { _, h, e := parsim.Run(s, par); return h, e }()
+		sim.ParEngine = "auto"
+		if handled2 || err2 != nil {
+			t.Fatalf("conservative engine accepted in-flight deliveries (handled=%v err=%v)", handled2, err2)
+		}
+		cycles, handled, err := parsim.RunOptimistic(s, par)
+		if !handled || err != nil {
+			t.Fatalf("par=%d handled=%v err=%v", par, handled, err)
+		}
+		_ = cycles
+		return runResult{s.HaltCycle() - s.BaseCycle(), s.Cycle, s.StatsReport(), s.CoherentSnapshot()}
+	}
+
+	for _, stop := range []uint64{40, 137, 400} {
+		seq := finish(stop, 1)
+		for _, par := range []int{2, 4} {
+			diffResults(t, fmt.Sprintf("stop=%d/par=%d", stop, par), seq, finish(stop, par))
+		}
+	}
+}
+
+// TestParallelEngineOptimisticErrorParity pins the non-convergence path:
+// with a cycle budget too small to finish, the optimistic engine must fail
+// at the same cycle with the same error text as the sequential loop.
+func TestParallelEngineOptimisticErrorParity(t *testing.T) {
+	cfg := sim.RealisticConfig().WithMissLatency(100)
+	cfg.Procs = 3
+	cfg.Model = core.SC
+	cfg.MaxCycles = 300 // far too few for this workload
+	progs := mixProgs(3, 7)
+
+	s1 := sim.New(cfg, progs)
+	_, err1 := s1.Run()
+	if err1 == nil {
+		t.Fatal("sequential run converged; budget not small enough for the test")
+	}
+	for _, par := range []int{2, 8} {
+		s2 := sim.New(cfg, progs)
+		_, handled, err2 := parsim.RunOptimistic(s2, par)
+		if !handled {
+			t.Fatalf("engine declined par=%d", par)
+		}
+		if err2 == nil {
+			t.Fatalf("par=%d converged where sequential errored", par)
+		}
+		if err1.Error() != err2.Error() {
+			t.Errorf("par=%d error differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", par, err1, err2)
+		}
+		if s1.Cycle != s2.Cycle {
+			t.Errorf("par=%d error cycle seq=%d par=%d", par, s1.Cycle, s2.Cycle)
+		}
+	}
+}
+
+// TestParallelEngineOptimisticDeclines pins the sequential-only cases: a
+// zero-latency network (same-cycle mid-phase delivery) and whole-machine
+// trace hooks cannot be windowed by any barrier engine.
+func TestParallelEngineOptimisticDeclines(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	cfg.NetLatency = 0
+	s := sim.New(cfg, mixProgs(2, 7))
+	if _, handled, _ := parsim.RunOptimistic(s, 4); handled {
+		t.Error("engine accepted a zero-latency network")
+	}
+
+	cfg = sim.RealisticConfig()
+	cfg.Procs = 2
+	s = sim.New(cfg, mixProgs(2, 7))
+	s.TraceHooks = append(s.TraceHooks, func(*sim.System, uint64) {})
+	if _, handled, _ := parsim.RunOptimistic(s, 4); handled {
+		t.Error("engine accepted a system with trace hooks")
+	}
+
+	s = sim.New(cfg, mixProgs(2, 7))
+	if _, handled, _ := parsim.RunOptimistic(s, 1); handled {
+		t.Error("engine accepted par=1")
+	}
+}
+
+// TestParallelEngineOptimisticViaRunKnob exercises the production entry
+// point: sim.ParEngine = "optimistic" routes System.Run through the
+// optimistic engine, and the scheduler report carries the Time Warp
+// counters. The mesh config guarantees stragglers, so the rollback path is
+// provably the one being differenced.
+func TestParallelEngineOptimisticViaRunKnob(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 16
+	cfg.Model = core.RC
+	cfg.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	cfg.Topo = "mesh"
+	cfg.MemModules = 16
+	cfg.DirPointers = 8
+	progs := wideProgs(16, 3, 3)
+	seq := runSeq(t, cfg, progs)
+
+	sim.ParWorkers = 4
+	sim.ParEngine = "optimistic"
+	defer func() { sim.ParWorkers = 0; sim.ParEngine = "auto" }()
+	s := sim.New(cfg, progs)
+	cycles, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "ParEngine=optimistic", seq, runResult{cycles, s.Cycle, s.StatsReport(), s.CoherentSnapshot()})
+	for _, want := range []string{"engine=optimistic", "checkpoints=", "rollbacks=", "replayed_cycles=", "max_optimism="} {
+		if !strings.Contains(s.ParReport, want) {
+			t.Errorf("ParReport missing %q:\n%s", want, s.ParReport)
+		}
+	}
+	if strings.Contains(s.ParReport, "rollbacks=0 ") {
+		t.Errorf("mesh run had no rollbacks; the straggler path went untested:\n%s", s.ParReport)
+	}
+}

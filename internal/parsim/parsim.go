@@ -135,13 +135,57 @@ type engine struct {
 
 	windows     uint64
 	globalJumps uint64
+
+	// Optimistic-engine state (RunOptimistic): the adaptive optimism
+	// horizon, the current window's rollback record, and the Time Warp
+	// counters surfaced in the -schedstats report.
+	opt         bool
+	horizon     uint64
+	ck          checkpoint
+	checkpoints uint64
+	rollbacks   uint64
+	replayed    uint64 // cycles re-executed after rollbacks
+	maxOptimism uint64 // largest single-window committed advance
+	consWindows uint64 // windows run at conservative pacing (throttled)
 }
 
-// Run advances s to completion with up to par shard goroutines. It reports
-// handled=false when the configuration cannot be windowed (the caller then
-// runs the sequential loop); otherwise its results — halt cycle, error,
-// every observable stat — are identical to the sequential engine's.
+// Run advances s to completion with up to par shard goroutines, selecting
+// an engine per sim.ParEngine. It reports handled=false when no engine can
+// run the configuration (the caller then falls back to the sequential
+// loop); otherwise its results — halt cycle, error, every observable
+// stat — are identical to the sequential engine's.
+//
+// Engine coverage, from sim.Run's perspective:
+//
+//   - conservative: any machine with nonzero minimum network delay, no
+//     deliveries in flight, no tracing;
+//   - optimistic: additionally accepts deliveries already in flight (a
+//     machine restored from a mid-flight snapshot), which "auto" routes
+//     here;
+//   - sequential-only, by construction: zero-latency networks (the
+//     sequential loop delivers a zero-latency send mid-phase of the same
+//     cycle, which no window barrier can reproduce), trace hooks and
+//     coherence line tracing (both observe whole-machine state every
+//     cycle, undefined while shards sit at different local times), and
+//     single-shard machines.
 func Run(s *sim.System, par int) (halt uint64, handled bool, err error) {
+	switch sim.ParEngine {
+	case "conservative":
+		return runConservative(s, par)
+	case "optimistic":
+		return RunOptimistic(s, par)
+	default:
+		if halt, handled, err = runConservative(s, par); handled {
+			return halt, handled, err
+		}
+		return RunOptimistic(s, par)
+	}
+}
+
+// runConservative advances s to completion in lookahead windows of the
+// network's minimum delay. It reports handled=false when the configuration
+// cannot be windowed.
+func runConservative(s *sim.System, par int) (halt uint64, handled bool, err error) {
 	w := s.Net.Latency()
 	if par < 2 || w == 0 || len(s.TraceHooks) > 0 || s.Net.Pending() > 0 ||
 		coherence.DebugTraceLine != 0 {
@@ -363,6 +407,10 @@ func (e *engine) report() string {
 	}
 	fmt.Fprintf(&b, "parsim: shards=%d workers=%d window=%d windows=%d exchanged=%d global_jumps=%d ff_cycles=%d shard_steps=%d shard_skipped=%d\n",
 		len(e.shards), e.workers, e.s.Net.Latency(), e.windows, e.x.Exchanged, e.globalJumps, e.s.FastForwarded, steps, skipped)
+	if e.opt {
+		fmt.Fprintf(&b, "parsim: engine=optimistic horizon=%d checkpoints=%d rollbacks=%d replayed_cycles=%d max_optimism=%d cons_windows=%d\n",
+			e.horizon, e.checkpoints, e.rollbacks, e.replayed, e.maxOptimism, e.consWindows)
+	}
 	for i, sh := range e.shards {
 		st := &e.st[i]
 		fmt.Fprintf(&b, "  %-6s windows=%d steps=%d skipped=%d idle_tails=%d delivered=%d sent=%d\n",

@@ -64,6 +64,21 @@ func (s *System) Shards() []*NodeShard {
 	return out
 }
 
+// ShardKind identifies a shard's component family, for engine policies
+// that depend on it (the optimistic engine checkpoints the shared memory
+// image only when a home shard is dispatched).
+type ShardKind uint8
+
+// Shard kinds, mirroring the internal partition.
+const (
+	ShardKindProc ShardKind = iota
+	ShardKindDir
+	ShardKindAgent
+)
+
+// Kind reports the shard's component family.
+func (sh *NodeShard) Kind() ShardKind { return ShardKind(sh.kind) }
+
 // NodeID returns the network node the shard receives messages at.
 func (sh *NodeShard) NodeID() network.NodeID {
 	switch sh.kind {
@@ -197,6 +212,70 @@ func (sh *NodeShard) Quiescent() bool {
 		// Writes not yet performed sit in the agent's inbox as injected
 		// self-deliveries, so the exchange's pending count covers them.
 		return sh.sys.agent.idle()
+	}
+}
+
+// ShardState is one shard's component checkpoint, taken and restored by
+// the optimistic engine (internal/parsim) at window granularity. Only the
+// fields for the shard's kind are populated. The memory image is not here:
+// home shards only ever touch their own banks, so the engine checkpoints
+// the one shared Memory once per window alongside the per-shard states.
+type ShardState struct {
+	CPU   cpu.State
+	LSU   core.LSUState
+	Cache cache.SavedState
+	Dir   coherence.State
+
+	AgentOutstanding int
+	NextWrite        int
+}
+
+// ExportState captures the shard's components mid-flight.
+func (sh *NodeShard) ExportState() (ShardState, error) {
+	var st ShardState
+	err := sh.ExportStateInto(&st)
+	return st, err
+}
+
+// ExportStateInto captures the shard into st, reusing st's backing storage
+// (the optimistic engine checkpoints every dispatched shard once per
+// window).
+func (sh *NodeShard) ExportStateInto(st *ShardState) error {
+	switch sh.kind {
+	case shardProc:
+		if err := sh.proc.ExportStateInto(&st.CPU); err != nil {
+			return err
+		}
+		if err := sh.lsu.ExportStateInto(&st.LSU); err != nil {
+			return err
+		}
+		return sh.cache.ExportStateInto(&st.Cache)
+	case shardDir:
+		return sh.dir.ExportStateInto(&st.Dir)
+	default:
+		st.AgentOutstanding = sh.sys.agent.outstanding
+		st.NextWrite = sh.sys.nextWrite
+		return nil
+	}
+}
+
+// RestoreState rolls the shard's components back to the exported state.
+func (sh *NodeShard) RestoreState(st ShardState) error {
+	switch sh.kind {
+	case shardProc:
+		if err := sh.proc.RestoreState(st.CPU); err != nil {
+			return err
+		}
+		if err := sh.lsu.RestoreState(st.LSU); err != nil {
+			return err
+		}
+		return sh.cache.RestoreState(st.Cache)
+	case shardDir:
+		return sh.dir.RestoreState(st.Dir)
+	default:
+		sh.sys.agent.outstanding = st.AgentOutstanding
+		sh.sys.nextWrite = st.NextWrite
+		return nil
 	}
 }
 

@@ -102,6 +102,15 @@ var ForceDense bool
 // same value.
 var ParWorkers int
 
+// ParEngine selects which parallel engine Run asks for when ParWorkers ≥ 2
+// (the -engine flag): "auto" tries the conservative engine and falls back
+// to the optimistic one for configurations it declines (deliveries already
+// in flight); "conservative" and "optimistic" force one engine, falling
+// back to the sequential loop when it declines. Every engine produces
+// byte-identical results, so this is purely a performance/diagnostics
+// knob. Like ForceDense it must only change while no simulations run.
+var ParEngine = "auto"
+
 // parallelRunner is installed by internal/parsim (an init-time hook keeps
 // sim free of an import cycle: parsim imports sim). It returns handled=false
 // when the engine declines the configuration — zero network latency, trace
@@ -439,7 +448,7 @@ func (s *System) Run() (uint64, error) {
 		if s.Cycle-s.baseCycle > s.Cfg.MaxCycles {
 			return 0, fmt.Errorf("sim: no convergence after %d cycles\n%s", s.Cfg.MaxCycles, s.Dump())
 		}
-		if !dense && s.skipIdleCycles() {
+		if !dense && s.skipIdleCycles(^uint64(0)) {
 			continue
 		}
 		s.Step()
@@ -453,15 +462,40 @@ func (s *System) Run() (uint64, error) {
 	return last - s.baseCycle, nil
 }
 
+// RunUntil advances the machine until it is Done or the clock reaches the
+// absolute cycle target, whichever comes first, and reports whether the
+// machine finished. Fast-forward jumps are clamped to the target, so the
+// machine stops at exactly that cycle regardless of the loop flavor — the
+// state there is identical either way (only provably idle cycles are
+// skipped) — which makes it the place to take a mid-flight Snapshot.
+// RunUntil always drives the sequential loop; checkpointed runs trade the
+// parallel engines for an interruptible clock.
+func (s *System) RunUntil(target uint64) (bool, error) {
+	dense := s.Cfg.DenseLoop || ForceDense
+	for !s.Done() {
+		if s.Cycle >= target {
+			return false, nil
+		}
+		if s.Cycle-s.baseCycle > s.Cfg.MaxCycles {
+			return false, fmt.Errorf("sim: no convergence after %d cycles\n%s", s.Cfg.MaxCycles, s.Dump())
+		}
+		if !dense && s.skipIdleCycles(target) {
+			continue
+		}
+		s.Step()
+	}
+	return true, nil
+}
+
 // skipIdleCycles advances the clock past cycles in which no component can
-// make progress, reporting whether it moved. The horizon is the earliest of
-// every self-scheduled event in the machine: the next scheduled external
-// write, the next network delivery, and each component's NextWake. A
-// component that can act at the current cycle vetoes the skip entirely. No
-// component may ever schedule work earlier than its reported wake, so every
-// skipped cycle is one the dense loop would have stepped through without
-// any state change — including statistics.
-func (s *System) skipIdleCycles() bool {
+// make progress (never past limit), reporting whether it moved. The horizon
+// is the earliest of every self-scheduled event in the machine: the next
+// scheduled external write, the next network delivery, and each component's
+// NextWake. A component that can act at the current cycle vetoes the skip
+// entirely. No component may ever schedule work earlier than its reported
+// wake, so every skipped cycle is one the dense loop would have stepped
+// through without any state change — including statistics.
+func (s *System) skipIdleCycles(limit uint64) bool {
 	now := s.Cycle
 	// A machine with no wake candidates at all (yet not Done) is
 	// deadlocked: jump straight past the cycle budget so Run reports the
@@ -506,6 +540,9 @@ func (s *System) skipIdleCycles() bool {
 		if earlier(p.NextWake(now)) {
 			return false
 		}
+	}
+	if horizon > limit {
+		horizon = limit
 	}
 	if horizon <= now {
 		return false

@@ -8,18 +8,15 @@ import (
 	"mcmsim/internal/snapshot"
 )
 
-// Snapshot serializes the machine's complete state. It requires
-// quiescence (Done): at that point every transient structure — in-flight
-// messages, MSHRs, recall transactions, reorder buffers, store buffers,
-// speculative-load buffers, pending scheduled writes — is provably empty,
-// so the captured vector (memory image, cache arrays, directory state,
-// architectural registers, clocks and counters, statistics) is the whole
-// machine. Restore rebuilds a system that is byte-identical to this one
-// for every subsequent output.
+// Snapshot serializes the machine's complete state between two cycles,
+// mid-flight included: besides the architectural state (memory image,
+// cache arrays, directory state, registers, clocks, counters, statistics)
+// it captures every transient structure by value — in-flight messages,
+// MSHRs, recall transactions, reorder buffers, store buffers,
+// speculative-load buffers, pending scheduled writes. Restore rebuilds a
+// system that is byte-identical to this one for every subsequent output.
+// Snapshot must not be called mid-cycle (from a trace hook).
 func (s *System) Snapshot() (*snapshot.Machine, error) {
-	if !s.Done() {
-		return nil, fmt.Errorf("sim: snapshot requires a quiescent machine (all processors halted, queues drained)")
-	}
 	m := &snapshot.Machine{
 		Config:        exportConfig(s.Cfg),
 		Cycle:         s.Cycle,
@@ -50,21 +47,30 @@ func (s *System) Snapshot() (*snapshot.Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		lsuSt, err := s.LSUs[i].ExportState()
+		if err != nil {
+			return nil, err
+		}
 		m.Procs = append(m.Procs, snapshot.ProcState{
 			Prog: exportProgram(p.Program()),
 			CPU:  cpuSt,
-			LSU:  s.LSUs[i].Stats.ExportState(),
+			LSU:  lsuSt,
 		})
 	}
+	for _, w := range s.writes[s.nextWrite:] {
+		m.PendingWrites = append(m.PendingWrites, snapshot.ScheduledWriteState{Cycle: w.Cycle, Addr: w.Addr, Value: w.Value})
+	}
+	m.AgentOutstanding = s.agent.outstanding
 	return m, nil
 }
 
-// Restore builds a fresh System from a snapshot. The restored machine is
-// quiescent at the snapshot's cycle, running the snapshot's programs (all
-// halted); continue it exactly like the original — LoadPrograms for the
-// next phase, ScheduleWrites, Run. Restore never mutates or aliases the
-// Machine, so many systems may be restored concurrently from one snapshot
-// (the warmup cache does exactly that).
+// Restore builds a fresh System from a snapshot, resuming at exactly the
+// captured cycle — mid-flight work, in-flight messages and pending
+// scheduled writes included. Continue it exactly like the original (Run,
+// or LoadPrograms + ScheduleWrites for the next phase of a quiescent
+// snapshot). Restore never mutates or aliases the Machine, so many systems
+// may be restored concurrently from one snapshot (the warmup cache does
+// exactly that).
 func Restore(m *snapshot.Machine) (*System, error) {
 	cfg := importConfig(m.Config)
 	if len(m.Procs) != cfg.Procs {
@@ -101,8 +107,14 @@ func Restore(m *snapshot.Machine) (*System, error) {
 		if err := p.RestoreState(m.Procs[i].CPU); err != nil {
 			return nil, err
 		}
-		s.LSUs[i].Stats.RestoreState(m.Procs[i].LSU)
+		if err := s.LSUs[i].RestoreState(m.Procs[i].LSU); err != nil {
+			return nil, err
+		}
 	}
+	for _, w := range m.PendingWrites {
+		s.writes = append(s.writes, ScheduledWrite{Cycle: w.Cycle, Addr: w.Addr, Value: w.Value})
+	}
+	s.agent.outstanding = m.AgentOutstanding
 	s.Cycle = m.Cycle
 	s.baseCycle = m.BaseCycle
 	s.FastForwarded = m.FastForwarded

@@ -2,11 +2,16 @@ package sim_test
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
+	"mcmsim/internal/coherence"
 	"mcmsim/internal/core"
+	"mcmsim/internal/isa"
 	"mcmsim/internal/sim"
 	"mcmsim/internal/snapshot"
 
@@ -177,4 +182,171 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	if _, err := snapshot.Read(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
 		t.Error("Read accepted garbage input")
 	}
+}
+
+// TestSnapshotMidFlight is the mid-flight property test: interrupting a
+// run at an arbitrary (pseudo-randomly chosen, non-quiescent) cycle,
+// snapshotting, and restoring into a fresh machine must be invisible — the
+// resumed run's halt cycle, statistics report and coherent memory image
+// must equal the uninterrupted run's, across network shape x coherence
+// protocol, and the snapshot bytes themselves must be identical whether
+// the interrupted run stepped every cycle or fast-forwarded (the scheduler
+// clamps its idle jumps to the interruption target, so both stop in the
+// same state). A re-snapshot of the restored machine must reproduce the
+// original bytes: restore loses nothing mid-flight state included.
+func TestSnapshotMidFlight(t *testing.T) {
+	type shape struct {
+		name  string
+		cfg   sim.Config
+		progs func() []*isa.Program
+	}
+	uniform := sim.RealisticConfig().WithMissLatency(100)
+	uniform.Procs = 4
+	uniform.Model = core.RC
+	uniform.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	mesh := meshConfig(16)
+	mesh.Model = core.SC
+	mesh.Tech = core.Technique{Prefetch: true, SpecLoad: true, ReissueOpt: true}
+	shapes := []shape{
+		{"uniform", uniform, func() []*isa.Program { return mixProgs(4, 11) }},
+		{"mesh", mesh, func() []*isa.Program { return wideProgs(16, 3, 3) }},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range shapes {
+		for _, proto := range []struct {
+			name string
+			p    coherence.Protocol
+		}{{"msi", coherence.ProtoInvalidate}, {"mesi", coherence.ProtoMESI}} {
+			t.Run(sh.name+"/"+proto.name, func(t *testing.T) {
+				cfg := sh.cfg
+				cfg.Protocol = proto.p
+
+				ref := sim.New(cfg, sh.progs())
+				if _, err := ref.Run(); err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				refStats, refMem, refEnd := ref.StatsReport(), ref.CoherentSnapshot(), ref.Cycle
+
+				for trial := 0; trial < 3; trial++ {
+					span := refEnd - ref.BaseCycle()
+					cut := ref.BaseCycle() + 1 + uint64(rng.Int63n(int64(span-1)))
+					snapAt := func(dense bool) []byte {
+						c := cfg
+						c.DenseLoop = dense
+						s := sim.New(c, sh.progs())
+						done, err := s.RunUntil(cut)
+						if err != nil {
+							t.Fatalf("cut=%d: %v", cut, err)
+						}
+						if done {
+							t.Fatalf("cut=%d: machine quiesced early (end=%d)", cut, refEnd)
+						}
+						if s.Cycle != cut {
+							t.Fatalf("cut=%d: RunUntil stopped at %d", cut, s.Cycle)
+						}
+						snap, err := s.Snapshot()
+						if err != nil {
+							t.Fatalf("cut=%d: snapshot: %v", cut, err)
+						}
+						// The skipped-cycle diagnostic is the one field that
+						// legitimately depends on the scheduler; normalize it so
+						// the comparison covers everything else.
+						snap.FastForwarded = 0
+						snap.Config.DenseLoop = false
+						var buf bytes.Buffer
+						if err := snapshot.Write(&buf, snap); err != nil {
+							t.Fatalf("cut=%d: encode: %v", cut, err)
+						}
+						return buf.Bytes()
+					}
+					ffBytes := snapAt(false)
+					if denseBytes := snapAt(true); !bytes.Equal(ffBytes, denseBytes) {
+						t.Fatalf("cut=%d: dense and fast-forward machines diverge at the cut", cut)
+					}
+
+					decoded, err := snapshot.Read(bytes.NewReader(ffBytes))
+					if err != nil {
+						t.Fatalf("cut=%d: decode: %v", cut, err)
+					}
+					restored, err := sim.Restore(decoded)
+					if err != nil {
+						t.Fatalf("cut=%d: restore: %v", cut, err)
+					}
+					resnap, err := restored.Snapshot()
+					if err != nil {
+						t.Fatalf("cut=%d: re-snapshot: %v", cut, err)
+					}
+					var buf2 bytes.Buffer
+					if err := snapshot.Write(&buf2, resnap); err != nil {
+						t.Fatalf("cut=%d: re-encode: %v", cut, err)
+					}
+					if !bytes.Equal(ffBytes, buf2.Bytes()) {
+						t.Fatalf("cut=%d: restored machine snapshots differently than the original", cut)
+					}
+
+					if _, err := restored.Run(); err != nil {
+						t.Fatalf("cut=%d: resumed run: %v", cut, err)
+					}
+					if restored.Cycle != refEnd {
+						t.Errorf("cut=%d: final clock resumed=%d uninterrupted=%d", cut, restored.Cycle, refEnd)
+					}
+					if got := restored.StatsReport(); got != refStats {
+						t.Errorf("cut=%d: stats reports differ:\n--- resumed ---\n%s--- uninterrupted ---\n%s", cut, got, refStats)
+					}
+					if !reflect.DeepEqual(restored.CoherentSnapshot(), refMem) {
+						t.Errorf("cut=%d: coherent memory images differ", cut)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotVersionMismatch pins the format-version gate: a snapshot
+// stamped with a foreign version must be rejected with an error naming
+// both versions, never misinterpreted.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	cfg := sim.RealisticConfig()
+	cfg.Procs = 2
+	s := sim.New(cfg, mixProgs(2, 7))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	// The envelope is gob: re-encode it with a bumped version by decoding
+	// into the raw structure is not exposed, so patch the version byte via
+	// the public API instead — write with a build that disagrees is what we
+	// simulate by checking the error text contract on a crafted stream.
+	stale := gobEnvelopeWithVersion(t, snap, snapshot.FormatVersion+40)
+	_, err = snapshot.Read(bytes.NewReader(stale))
+	if err == nil {
+		t.Fatal("Read accepted a snapshot from a different format version")
+	}
+	want := fmt.Sprintf("format version %d, this build reads %d", snapshot.FormatVersion+40, snapshot.FormatVersion)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("version mismatch error %q does not name both versions (want %q)", err, want)
+	}
+}
+
+// gobEnvelopeWithVersion re-frames a machine under a different format
+// version, simulating a snapshot written by another build of the tool.
+func gobEnvelopeWithVersion(t *testing.T, m *snapshot.Machine, version int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	env := struct {
+		Magic   string
+		Version int
+		Machine snapshot.Machine
+	}{"mcmsim-snapshot", version, *m}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

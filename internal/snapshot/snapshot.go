@@ -1,20 +1,22 @@
-// Package snapshot defines the exact serialized form of a quiescent
-// simulated machine and its gob-based persistence.
+// Package snapshot defines the exact serialized form of a simulated
+// machine and its gob-based persistence.
 //
-// A snapshot is only ever taken at quiescence (sim.System.Snapshot refuses
-// otherwise), which is what makes it exact with a small state vector: when
-// every processor has halted and every queue drained, all transient
-// machine state — in-flight messages, MSHRs, scheduled completions,
-// reorder-buffer entries, speculative-load buffers, store buffers, recall
-// transactions — is provably empty, so the machine reduces to its
+// A snapshot may be taken between any two cycles, quiescent or not: every
+// transient structure — in-flight messages (with their assigned delivery
+// cycles and arbitration sequence numbers), MSHRs with their merged
+// waiters and deferred coherence events, scheduled completions,
+// reorder-buffer entries, speculative-load and SC-monitor buffers, store
+// buffers, directory recall transactions and ingress queues, pending
+// scheduled external writes — serializes by value alongside the
 // architectural state (memory image, cache arrays, directory sharing
-// vectors and version counters, registers and program counters), its
+// vectors and version counters, registers and program counters), the
 // monotonic counters (clock, network arbitration sequence, instruction
-// IDs, LRU clocks), and its statistics. Restoring that vector into a
-// freshly constructed machine reproduces every subsequent observable —
-// stats reports, memory images, sweep rows, conformance verdicts — byte
-// for byte, under the dense loop, the fast-forward scheduler and the
-// parallel engine alike (the differential tests enforce this).
+// IDs, LRU clocks, link occupancy), and the statistics. Restoring that
+// vector into a freshly constructed machine reproduces every subsequent
+// observable — stats reports, memory images, sweep rows, conformance
+// verdicts — byte for byte, under the dense loop, the fast-forward
+// scheduler and the parallel engines alike (the differential tests
+// enforce this). At quiescence the transient sections are simply empty.
 //
 // Encoding is deterministic: no Go map appears anywhere in the serialized
 // types (gob iterates maps in random order), every keyed collection is a
@@ -36,12 +38,18 @@ import (
 	"mcmsim/internal/isa"
 	"mcmsim/internal/memsys"
 	"mcmsim/internal/network"
-	"mcmsim/internal/stats"
 )
 
 // FormatVersion identifies the snapshot layout. Readers reject snapshots
 // written by a different version instead of misinterpreting them.
-const FormatVersion = 1
+//
+// History:
+//
+//	1 — quiescent-only machines (all transient sections absent).
+//	2 — mid-flight machines: in-flight messages, MSHR/ROB/LSU/directory
+//	    transients, pending scheduled writes; ProcState.LSU widened from
+//	    bare statistics to the full load/store-unit state.
+const FormatVersion = 2
 
 // magic guards against feeding arbitrary gob streams to Read.
 const magic = "mcmsim-snapshot"
@@ -90,15 +98,24 @@ type ProgramState struct {
 }
 
 // ProcState bundles one processor's serialized state: its program, its
-// pipeline-architectural state, and its load/store unit's statistics (the
-// LSU drains completely at quiescence; only its metrics persist).
+// pipeline state (reorder buffer included) and its load/store unit
+// (queues, speculative buffers and statistics).
 type ProcState struct {
 	Prog ProgramState
 	CPU  cpu.State
-	LSU  stats.State
+	LSU  core.LSUState
 }
 
-// Machine is the complete serialized state of a quiescent machine.
+// ScheduledWriteState is one external write not yet performed by the
+// harness agent (mirrors sim.ScheduledWrite; snapshot cannot import sim).
+type ScheduledWriteState struct {
+	Cycle uint64
+	Addr  uint64
+	Value int64
+}
+
+// Machine is the complete serialized state of a machine, mid-flight
+// included.
 type Machine struct {
 	Config Config
 
@@ -111,6 +128,12 @@ type Machine struct {
 	Dirs   []coherence.State
 	Caches []cache.SavedState
 	Procs  []ProcState
+
+	// PendingWrites are the scheduled external writes still due, in schedule
+	// order; AgentOutstanding counts writes sent but not yet acknowledged by
+	// the directory. Both are zero at quiescence.
+	PendingWrites    []ScheduledWriteState
+	AgentOutstanding int
 }
 
 // envelope is the on-disk framing: magic and version first, so Read can

@@ -28,20 +28,28 @@ type HistogramState struct {
 // counters and empty histograms: a metric's presence (it was registered)
 // is itself observable in String().
 func (s *Set) ExportState() State {
-	st := State{
-		Counters:   make([]CounterState, 0, len(s.counters)),
-		Histograms: make([]HistogramState, 0, len(s.hists)),
-	}
+	var st State
+	s.ExportStateInto(&st)
+	return st
+}
+
+// ExportStateInto captures the set into st, reusing st's backing storage.
+// The optimistic shard engine checkpoints every component once per window;
+// reusing the previous window's buffers keeps that off the allocator.
+func (s *Set) ExportStateInto(st *State) {
+	st.Counters = st.Counters[:0]
 	for _, n := range s.CounterNames() {
 		st.Counters = append(st.Counters, CounterState{Name: n, Value: s.counters[n].Value()})
 	}
-	for _, n := range s.HistogramNames() {
-		h := s.hists[n]
-		samples := make([]int64, len(h.samples))
-		copy(samples, h.samples)
-		st.Histograms = append(st.Histograms, HistogramState{Name: n, Samples: samples})
+	prev := st.Histograms
+	st.Histograms = st.Histograms[:0]
+	for i, n := range s.HistogramNames() {
+		var buf []int64
+		if i < len(prev) {
+			buf = prev[i].Samples[:0]
+		}
+		st.Histograms = append(st.Histograms, HistogramState{Name: n, Samples: append(buf, s.hists[n].samples...)})
 	}
-	return st
 }
 
 // RestoreState replaces the set's metrics with the exported ones. Existing
@@ -49,6 +57,7 @@ func (s *Set) ExportState() State {
 // names appear in the state (values are overwritten in place); metrics not
 // in the state are dropped.
 func (s *Set) RestoreState(st State) {
+	s.cNames, s.hNames = nil, nil
 	keepC := make(map[string]bool, len(st.Counters))
 	for _, cs := range st.Counters {
 		keepC[cs.Name] = true

@@ -116,6 +116,11 @@ type Set struct {
 	name     string
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+
+	// Cached sorted name lists (nil = stale). Metric registration is rare
+	// and enumeration is hot: reports and per-window engine checkpoints
+	// both walk the names in sorted order.
+	cNames, hNames []string
 }
 
 // NewSet creates an empty metric set with the given component name.
@@ -136,6 +141,7 @@ func (s *Set) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		s.counters[name] = c
+		s.cNames = nil
 	}
 	return c
 }
@@ -147,6 +153,7 @@ func (s *Set) Histogram(name string) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		s.hists[name] = h
+		s.hNames = nil
 	}
 	return h
 }
@@ -161,24 +168,30 @@ func (s *Set) Reset() {
 	}
 }
 
-// CounterNames returns the sorted names of all counters in the set.
+// CounterNames returns the sorted names of all counters in the set. The
+// returned slice is shared; callers must not modify it.
 func (s *Set) CounterNames() []string {
-	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
-		names = append(names, n)
+	if s.cNames == nil {
+		s.cNames = make([]string, 0, len(s.counters))
+		for n := range s.counters {
+			s.cNames = append(s.cNames, n)
+		}
+		sort.Strings(s.cNames)
 	}
-	sort.Strings(names)
-	return names
+	return s.cNames
 }
 
 // HistogramNames returns the sorted names of all histograms in the set.
+// The returned slice is shared; callers must not modify it.
 func (s *Set) HistogramNames() []string {
-	names := make([]string, 0, len(s.hists))
-	for n := range s.hists {
-		names = append(names, n)
+	if s.hNames == nil {
+		s.hNames = make([]string, 0, len(s.hists))
+		for n := range s.hists {
+			s.hNames = append(s.hNames, n)
+		}
+		sort.Strings(s.hNames)
 	}
-	sort.Strings(names)
-	return names
+	return s.hNames
 }
 
 // String renders the set as a human-readable table, one metric per line.
