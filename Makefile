@@ -42,9 +42,12 @@ race:
 # the cache on and off, a conformance batch, and the Figure 5 cycle-level
 # trace. The second leg re-checks a conformance batch with every
 # simulation sharded by the optimistic engine: verdicts must be identical
-# to the sequential run at every worker count.
+# to the sequential run at every worker count. The farm tier holds the
+# distributed coordinator to the same bar: a farmed suite and conformance
+# batch must be byte-identical to the local pool, through worker deaths,
+# lease expiries, and checkpoint resumes.
 differential:
-	$(GO) test -run 'TestFastForward|TestParallelEngine|TestSnapshot|TestWarmupCache' ./internal/sim ./internal/experiments ./internal/parsim ./internal/runner
+	$(GO) test -run 'TestFastForward|TestParallelEngine|TestSnapshot|TestWarmupCache|TestFarm' ./internal/sim ./internal/experiments ./internal/parsim ./internal/runner ./internal/farm
 	$(GO) run ./cmd/conform -seed 1 -n 32 -quick -par 4 -engine optimistic -quiet
 
 # The conformance tier: a smoke batch of generated litmus programs checked
@@ -74,14 +77,14 @@ fuzz:
 # archiving the results (ns/op, allocs/op, simulated cycles/sec) as
 # machine-readable JSON in BENCH_sim.json.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim ./internal/farm | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # Re-run the benchmark suite and diff it against the committed
 # BENCH_sim.json baseline: any benchmark whose ns/op or allocs/op grew by
 # more than 15% fails (cmd/benchjson -compare). The fresh results go to a
 # scratch file so the baseline only changes via an explicit `make bench`.
 benchdiff:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim | $(GO) run ./cmd/benchjson -out /tmp/BENCH_sim.new.json -compare BENCH_sim.json
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/sim ./internal/parsim ./internal/farm | $(GO) run ./cmd/benchjson -out /tmp/BENCH_sim.new.json -compare BENCH_sim.json
 
 # The full evaluation suite on all CPUs.
 sweep:

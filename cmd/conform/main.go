@@ -26,6 +26,9 @@
 //	-quick    paper timing only (the fuzz target's reduced grid)
 //	-protocol coherence-protocol axis: both (default), msi, or mesi
 //	-quiet    suppress the progress line on stderr
+//	-out FILE write the report to FILE instead of stdout
+//	-notime   omit the elapsed-seconds figure from the OK line, making the
+//	          report byte-stable (what the farm-vs-local CI diff compares)
 //
 // Any violation is minimized to a 1-minimal reproducer and printed with
 // the failing cell, the observed outcome, and the oracle's allowed set;
@@ -59,6 +62,8 @@ func main() {
 		topo   = flag.String("topo", "", "interconnect for every cell: uniform (default), mesh, or mesh:WxH")
 		proto  = flag.String("protocol", "both", "coherence-protocol axis: both, msi, or mesi")
 		quiet  = flag.Bool("quiet", false, "suppress progress on stderr")
+		outF   = flag.String("out", "", "write the report to this file instead of stdout")
+		notime = flag.Bool("notime", false, "omit elapsed seconds from the OK line (byte-stable output)")
 	)
 	flag.Parse()
 	var protocols []coherence.Protocol
@@ -117,31 +122,21 @@ func main() {
 	start := time.Now()
 	rep := conformance.CheckBatch(*seed, *n, params, *jobs, opts, progress)
 	elapsed := time.Since(start)
-
-	if len(rep.Violations) == 0 {
-		fmt.Printf("conform: OK — %d programs, %d grid cells (%d relaxed outcomes, %d detector hits), seeds %d..%d, %.1fs\n",
-			rep.Programs, rep.Stats.Cells, rep.Stats.Relaxed, rep.Stats.Detections,
-			*seed, *seed+int64(*n)-1, elapsed.Seconds())
-		return
+	if *notime {
+		elapsed = -1
 	}
 
-	fmt.Printf("conform: %d violation(s) across %d programs\n\n", len(rep.Violations), rep.Programs)
-	// Group violations by program (seed) and minimize each failing program
-	// once; the grid is deterministic, so the reproducer is exact.
-	minimized := make(map[int64]bool)
-	for _, v := range rep.Violations {
-		fmt.Printf("%v\n", v)
-		if minimized[v.Program.Seed] {
-			continue
+	w := os.Stdout
+	if *outF != "" {
+		f, err := os.Create(*outF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			os.Exit(2)
 		}
-		minimized[v.Program.Seed] = true
-		min := conformance.MinimizeViolation(v.Program, opts)
-		fmt.Printf("minimized reproducer:\n%v", min)
-		_, mviols := conformance.CheckProgram(min, opts)
-		for _, mv := range mviols {
-			fmt.Printf("  still fails: %v\n", mv)
-		}
-		fmt.Println()
+		defer f.Close()
+		w = f
 	}
-	os.Exit(1)
+	if !conformance.Summarize(w, rep, *seed, *n, opts, elapsed) {
+		os.Exit(1)
+	}
 }

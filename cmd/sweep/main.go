@@ -26,6 +26,14 @@
 //	-cpus LIST        machine sizes for the scale sweep (default 16,64,256)
 //	-topo T           scale-sweep interconnect: mesh or mesh:WxH
 //	-j N              worker-pool size (default: all CPUs)
+//	-workers LIST     worker fleet: comma-separated local:N and daemon
+//	                  host:port entries. Only-local lists run today's
+//	                  in-process pool (local:8 == -j 8); any remote entry
+//	                  starts a farm coordinator (internal/farm) that leases
+//	                  jobs to the fleet and reassembles the report to the
+//	                  same bytes. Remote entries dial `sweepd -worker
+//	                  -listen` daemons. Farm-only companions: -listen,
+//	                  -advertise, -lease-ttl, -checkpoint-every
 //	-format table|json|csv
 //	-out FILE         write the report to FILE instead of stdout
 //	-quiet            suppress the per-job progress log on stderr
@@ -55,6 +63,7 @@ import (
 
 	"mcmsim/internal/coherence"
 	"mcmsim/internal/experiments"
+	"mcmsim/internal/farm"
 	"mcmsim/internal/parsim"
 	"mcmsim/internal/runner"
 	"mcmsim/internal/sim"
@@ -68,6 +77,11 @@ func main() {
 		cpus    = flag.String("cpus", "", "comma-separated machine sizes for the scale sweep (default 16,64,256)")
 		topo    = flag.String("topo", "", "interconnect for the scale sweep: mesh (default, auto-sized) or mesh:WxH")
 		jobs    = flag.Int("j", runtime.NumCPU(), "worker-pool size (simulations run concurrently; <=0 means all CPUs)")
+		fleet   = flag.String("workers", "", "worker fleet: comma-separated local:N and sweepd daemon host:port entries (only-local lists use the in-process pool; any remote entry runs the farm)")
+		listen  = flag.String("listen", "", "farm coordinator bind address (default: an ephemeral loopback port)")
+		adv     = flag.String("advertise", "", "address remote farm workers dial back (default: the listener's)")
+		ttl     = flag.Duration("lease-ttl", farm.DefaultLeaseTTL, "farm: reassign a silent worker's job after this long")
+		every   = flag.Uint64("checkpoint-every", 0, "farm: checkpoint measured jobs every N cycles so reassigned jobs resume mid-flight (0 = off)")
 		format  = flag.String("format", "table", "output format: table, json, csv")
 		out     = flag.String("out", "", "write the report to this file instead of stdout")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
@@ -118,17 +132,130 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
+	localN, invites, err := parseWorkers(*fleet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	if *fleet != "" && len(invites) == 0 && *listen == "" {
+		// Only local:N entries: the fleet is this process, so the farm
+		// machinery buys nothing — degrade to the classic pool at that width.
+		*jobs = localN
+	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, params, *jobs, *format, *out, *quiet, *snapC, *par); err != nil {
+	if len(invites) > 0 || *listen != "" {
+		err = runFarm(*exp, params, *proto, *engine, *par, *dense, localN, invites,
+			*listen, *adv, *ttl, *every, *format, *out, *quiet)
+	} else {
+		err = run(*exp, params, *jobs, *format, *out, *quiet, *snapC, *par)
+	}
+	if err != nil {
 		stopProf()
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 	stopProf()
+}
+
+// parseWorkers splits a -workers list into the local worker count and the
+// remote daemon addresses to invite.
+func parseWorkers(s string) (local int, invites []string, err error) {
+	if s == "" {
+		return 0, nil, nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if strings.HasPrefix(f, "local:") {
+			n, err := strconv.Atoi(strings.TrimPrefix(f, "local:"))
+			if err != nil || n < 0 {
+				return 0, nil, fmt.Errorf("bad -workers entry %q (want local:N or host:port)", f)
+			}
+			local += n
+			continue
+		}
+		if !strings.Contains(f, ":") {
+			return 0, nil, fmt.Errorf("bad -workers entry %q (want local:N or host:port)", f)
+		}
+		invites = append(invites, f)
+	}
+	return local, invites, nil
+}
+
+// runFarm executes the selected sweeps on a farm coordinator instead of
+// the in-process pool: local:N workers attach over loopback, remote
+// entries are invited sweepd daemons. The report is byte-identical to
+// run()'s for the same flags — `make differential` gates it.
+func runFarm(exp string, params experiments.Params, proto, engine string, par int, dense bool, localN int, invites []string, listen, advertise string, ttl time.Duration, every uint64, format, out string, quiet bool) error {
+	if err := runner.CheckFormat(format); err != nil {
+		return err
+	}
+	spec := farm.JobSpec{
+		Kind:      "sweep",
+		Protocol:  proto,
+		Engine:    engine,
+		Par:       par,
+		Dense:     dense,
+		Procs:     params.Procs,
+		Seed:      params.Seed,
+		ScaleCPUs: params.ScaleCPUs,
+		ScaleTopo: params.ScaleTopo,
+	}
+	if exp != "all" {
+		for _, name := range strings.Split(exp, ",") {
+			spec.Exps = append(spec.Exps, strings.TrimSpace(name))
+		}
+	}
+	opts := farm.Options{
+		Listen:          listen,
+		Advertise:       advertise,
+		LocalWorkers:    localN,
+		Invite:          invites,
+		LeaseTTL:        ttl,
+		CheckpointEvery: every,
+		OnWorkerError:   func(name string, err error) { fmt.Fprintf(os.Stderr, "sweep: worker %s: %v\n", name, err) },
+	}
+	if !quiet {
+		opts.OnProgress = func(p runner.Progress) {
+			status := fmt.Sprintf("cycles=%d", p.Cycles)
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %-40s %s wall=%s\n",
+				len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Name, status, p.Wall.Round(time.Microsecond))
+		}
+	}
+	start := time.Now()
+	results, stats, err := farm.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	rows, err := runner.Rows(results)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "%d jobs in %s (farm: %d workers, %d reassigned, %d resumed, %d warmups built for %d keys)\n",
+			stats.Completed, time.Since(start).Round(time.Millisecond),
+			stats.Workers, stats.Reassigned, stats.Resumed, stats.WarmBuilds, stats.WarmKeys)
+	}
+	tables, err := farm.SweepTables(spec, rows)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return runner.WriteReport(w, format, tables)
 }
 
 func run(exp string, params experiments.Params, workers int, format, out string, quiet bool, snapCache bool, par int) error {

@@ -1,7 +1,12 @@
 package conformance
 
 import (
+	"bytes"
+	"encoding/base64"
+	"encoding/gob"
 	"fmt"
+	"io"
+	"time"
 
 	"mcmsim/internal/coherence"
 	"mcmsim/internal/core"
@@ -345,25 +350,105 @@ func CellsPerProgram() int {
 	return len(core.AllModels) * len(GridTechs()) * len(GridTimings()) * len(GridProtocols())
 }
 
+// BatchJobs enumerates a conformance batch as independent runner jobs, one
+// per generated program. Each job's row carries the program's grid
+// statistics and any violations in encoded form, so a batch can execute on
+// any executor that transports rows — the local pool or the sweep farm —
+// and BatchReport reassembles the identical Report either way.
+func BatchJobs(seed int64, n int, params Params, opts CheckOptions) []runner.Job {
+	jobs := make([]runner.Job, n)
+	for i := 0; i < n; i++ {
+		p := Generate(seed+int64(i), params)
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("conform/seed%d", p.Seed),
+			Run: func(*sim.System) (runner.Row, error) {
+				stats, viols := CheckProgram(p, opts)
+				return encodeProgramRow(stats, viols)
+			},
+		}
+	}
+	return jobs
+}
+
+// encodeProgramRow flattens one program's check result into the runner's
+// row currency: the statistics as extra metrics, the violations (rich
+// structures, including the program itself for minimization) as a gob
+// blob. Gob encodes these map-free structs deterministically, so the rows
+// — like every other farm observable — are byte-stable.
+func encodeProgramRow(stats Stats, viols []Violation) (runner.Row, error) {
+	row := runner.Row{
+		Extra: map[string]float64{
+			"cells":      float64(stats.Cells),
+			"relaxed":    float64(stats.Relaxed),
+			"detections": float64(stats.Detections),
+		},
+	}
+	if len(viols) > 0 {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(viols); err != nil {
+			return runner.Row{}, fmt.Errorf("conformance: encode violations: %w", err)
+		}
+		row.Labels = map[string]string{"violations": base64.StdEncoding.EncodeToString(buf.Bytes())}
+	}
+	return row, nil
+}
+
+// decodeProgramRow inverts encodeProgramRow.
+func decodeProgramRow(row runner.Row) (Stats, []Violation, error) {
+	stats := Stats{
+		Cells:      int(row.Extra["cells"]),
+		Relaxed:    int(row.Extra["relaxed"]),
+		Detections: int(row.Extra["detections"]),
+	}
+	blob, ok := row.Labels["violations"]
+	if !ok {
+		return stats, nil, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(blob)
+	if err != nil {
+		return stats, nil, fmt.Errorf("conformance: decode violations: %w", err)
+	}
+	var viols []Violation
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&viols); err != nil {
+		return stats, nil, fmt.Errorf("conformance: decode violations: %w", err)
+	}
+	return stats, viols, nil
+}
+
+// BatchReport reassembles the results of a BatchJobs run (in job order, as
+// every executor returns them) into the batch report. A failed job — a
+// panic inside CheckProgram, wherever it ran — is itself a conformance
+// failure, attributed to the program that provoked it.
+func BatchReport(seed int64, n int, params Params, results []runner.Result) Report {
+	rep := Report{Programs: n}
+	for i, res := range results {
+		if res.Err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Program: Generate(seed+int64(i), params),
+				Cell:    res.Name, Kind: "error", Detail: res.Err.Error(),
+			})
+			continue
+		}
+		stats, viols, err := decodeProgramRow(res.Row)
+		if err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Program: Generate(seed+int64(i), params),
+				Cell:    res.Name, Kind: "error", Detail: err.Error(),
+			})
+			continue
+		}
+		rep.Stats.add(stats)
+		rep.Violations = append(rep.Violations, viols...)
+	}
+	return rep
+}
+
 // CheckBatch generates programs for seeds seed..seed+n-1 and checks each
 // across the grid, running programs in parallel on the runner's worker
 // pool. Results are deterministic for any worker count: each program is an
 // independent job and violations are collected in seed order.
 func CheckBatch(seed int64, n int, params Params, workers int, opts CheckOptions, progress func(done, total int)) Report {
-	jobs := make([]runner.Job, n)
-	viols := make([][]Violation, n)
-	stats := make([]Stats, n)
-	for i := 0; i < n; i++ {
-		i := i
-		p := Generate(seed+int64(i), params)
-		jobs[i] = runner.Job{
-			Name: fmt.Sprintf("conform/seed%d", seed+int64(i)),
-			Run: func(*sim.System) (runner.Row, error) {
-				stats[i], viols[i] = CheckProgram(p, opts)
-				return runner.Row{}, nil
-			},
-		}
-	}
+	jobs := BatchJobs(seed, n, params, opts)
 	done := 0
 	results := runner.Run(jobs, runner.Options{Workers: workers, OnProgress: func(pr runner.Progress) {
 		done++
@@ -371,18 +456,42 @@ func CheckBatch(seed int64, n int, params Params, workers int, opts CheckOptions
 			progress(done, n)
 		}
 	}})
-	rep := Report{Programs: n}
-	for i := range viols {
-		if err := results[i].Err; err != nil {
-			// A panic inside CheckProgram is itself a conformance failure.
-			rep.Violations = append(rep.Violations, Violation{
-				Program: Generate(seed+int64(i), params),
-				Cell:    results[i].Name, Kind: "error", Detail: err.Error(),
-			})
+	return BatchReport(seed, n, params, results)
+}
+
+// Summarize renders a batch report exactly as cmd/conform prints it: the
+// one-line OK summary, or the violation list with a 1-minimal reproducer
+// per failing program. A negative elapsed omits the wall-clock figure —
+// the form the farm's byte-comparison gates use, wall time being the one
+// nondeterministic field. Returns true when the report is clean.
+func Summarize(w io.Writer, rep Report, seed int64, n int, opts CheckOptions, elapsed time.Duration) bool {
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(w, "conform: OK — %d programs, %d grid cells (%d relaxed outcomes, %d detector hits), seeds %d..%d",
+			rep.Programs, rep.Stats.Cells, rep.Stats.Relaxed, rep.Stats.Detections,
+			seed, seed+int64(n)-1)
+		if elapsed >= 0 {
+			fmt.Fprintf(w, ", %.1fs", elapsed.Seconds())
+		}
+		fmt.Fprintln(w)
+		return true
+	}
+	fmt.Fprintf(w, "conform: %d violation(s) across %d programs\n\n", len(rep.Violations), rep.Programs)
+	// Group violations by program (seed) and minimize each failing program
+	// once; the grid is deterministic, so the reproducer is exact.
+	minimized := make(map[int64]bool)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "%v\n", v)
+		if minimized[v.Program.Seed] {
 			continue
 		}
-		rep.Stats.add(stats[i])
-		rep.Violations = append(rep.Violations, viols[i]...)
+		minimized[v.Program.Seed] = true
+		min := MinimizeViolation(v.Program, opts)
+		fmt.Fprintf(w, "minimized reproducer:\n%v", min)
+		_, mviols := CheckProgram(min, opts)
+		for _, mv := range mviols {
+			fmt.Fprintf(w, "  still fails: %v\n", mv)
+		}
+		fmt.Fprintln(w)
 	}
-	return rep
+	return false
 }

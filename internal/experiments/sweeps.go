@@ -25,17 +25,16 @@ type Row = runner.Row
 // benchmarks, examples) unchanged.
 
 // simJob builds the common job shape: Configure assembles the machine,
-// Run drives it and labels the resulting cycle count. extra, if non-nil,
-// harvests derived statistics from the finished machine.
+// the executor drives it, and Measure labels the resulting cycle count.
+// extra, if non-nil, harvests derived statistics from the finished
+// machine. Declaring the drive-then-extract split (Measure instead of an
+// opaque Run) is what lets the sweep farm checkpoint these jobs mid-run
+// and resume them on another worker.
 func simJob(name string, labels map[string]string, build func() *sim.System, extra func(*sim.System) map[string]float64) runner.Job {
 	return runner.Job{
 		Name:      name,
 		Configure: func() (*sim.System, error) { return build(), nil },
-		Run: func(s *sim.System) (Row, error) {
-			cycles, err := s.Run()
-			if err != nil {
-				return Row{}, err
-			}
+		Measure: func(s *sim.System, cycles uint64) (Row, error) {
 			row := Row{Labels: labels, Cycles: cycles}
 			if extra != nil {
 				row.Extra = extra(s)
@@ -306,11 +305,7 @@ func AdveHillComparisonJobs(nStores int) []runner.Job {
 					return nil
 				},
 			},
-			Run: func(s *sim.System) (Row, error) {
-				cycles, err := s.Run()
-				if err != nil {
-					return Row{}, err
-				}
+			Measure: func(s *sim.System, cycles uint64) (Row, error) {
 				return Row{Labels: map[string]string{"impl": v.name}, Cycles: cycles}, nil
 			},
 		})
@@ -415,11 +410,7 @@ func WarmedEqualizationJobs() []runner.Job {
 						return nil
 					},
 				},
-				Run: func(s *sim.System) (Row, error) {
-					cycles, err := s.Run()
-					if err != nil {
-						return Row{}, err
-					}
+				Measure: func(s *sim.System, cycles uint64) (Row, error) {
 					return Row{Labels: map[string]string{"model": m.String(), "tech": tc.name}, Cycles: cycles}, nil
 				},
 			})

@@ -1,0 +1,57 @@
+// Package farm distributes a sweep across a fleet of worker processes
+// while keeping every observable byte-identical to a local run.
+//
+// # Shape
+//
+// A Coordinator owns one JobSpec — a serializable description from which
+// any fleet member re-enumerates the identical []runner.Job list (the
+// enumeration is deterministic, and the handshake cross-checks a
+// fingerprint of it). Workers dial in over stdlib net/rpc (gob-encoded,
+// one TCP connection per worker) and pull: each Lease hands out one job
+// index under a deadline, the worker executes it through the unchanged
+// runner/sim stack, and Complete streams the runner.Result row back.
+// Because jobs travel as indices into a shared enumeration, no closure
+// ever crosses the wire.
+//
+// # Why farm output is byte-identical to local -j N
+//
+// Three properties compose. (1) Every job is an independent deterministic
+// simulation: its row depends only on the job, never on which worker ran
+// it, when, or after how many retries. (2) The coordinator assembles
+// results by job index and releases them in enumeration order — exactly
+// the local pool's contract — so completion order, lease order and
+// reassignment are all invisible. (3) The shipped artifacts (warmup
+// snapshots, checkpoints) are machine snapshots, whose restore is
+// observation-transparent by the differential gates. The formatters then
+// render identical rows to identical bytes.
+//
+// # Content-addressed warmup shipping
+//
+// Jobs that declare a runner.WarmupSpec are deduplicated across the whole
+// fleet, not just one process: the worker asks the coordinator for the
+// snapshot by the content hash of its canonical runner.WarmupKey. The
+// first asker is granted the build — it simulates the warmup once,
+// uploads the snapshot, and every later asker (on any host) downloads it
+// instead of re-simulating. N workers x M grid points therefore cost K
+// warmup simulations, where K is the number of distinct keys.
+//
+// # Fault tolerance
+//
+// Leases expire — on a missed deadline, or immediately when the worker's
+// connection drops — and the job returns to the queue for reassignment.
+// Workers running a checkpoint-enabled farm upload interval snapshots of
+// Measure jobs (sim.RunCheckpointed slices); a reassigned job resumes
+// from its last validated checkpoint instead of cycle zero. Checkpoints
+// are validated (snapshot envelope decode) before they replace the
+// previous one, so a worker dying mid-upload can only lose progress,
+// never corrupt it. Resume lands on the same absolute slice boundaries
+// the uninterrupted run used, so the final machine — and the row — is
+// unchanged.
+//
+// # Version locking
+//
+// Snapshot bytes are only meaningful between identical builds (the format
+// is version-locked). The handshake therefore exchanges sim.SnapshotVersion
+// and a VCS build hash both ways and rejects mismatched fleets with a
+// clear error before any job, snapshot or checkpoint moves.
+package farm

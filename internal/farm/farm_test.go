@@ -1,0 +1,217 @@
+package farm
+
+import (
+	"bytes"
+	"net/rpc"
+	"testing"
+	"time"
+
+	"mcmsim/internal/conformance"
+	"mcmsim/internal/runner"
+	"mcmsim/internal/sim"
+)
+
+// renderLocal runs the spec on the classic in-process pool (with the
+// snapshot cache, like cmd/sweep's default) and renders it in the given
+// format — the byte-reference every farm test compares against.
+func renderLocal(t *testing.T, spec JobSpec, workers int, format string) []byte {
+	t.Helper()
+	if err := ApplyGlobals(spec); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runner.Run(jobs, runner.Options{Workers: workers, WarmupCache: runner.NewWarmupCache()})
+	return render(t, results, format)
+}
+
+func render(t *testing.T, results []runner.Result, format string) []byte {
+	t.Helper()
+	rows, err := runner.Rows(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runner.WriteReport(&buf, format, []runner.Table{{Name: "farm", Rows: rows}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFarmSuiteByteIdentical is the headline gate: a coordinator plus two
+// loopback workers — checkpointing enabled, warmups shipped over the wire
+// — renders the exact bytes of a local -j 2 run, in every output format.
+func TestFarmSuiteByteIdentical(t *testing.T) {
+	spec := JobSpec{Kind: "sweep", Exps: []string{"equalization", "warmequal"}, Procs: 3, Seed: 7}
+	results, stats, err := Run(spec, Options{LocalWorkers: 2, CheckpointEvery: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != stats.Jobs {
+		t.Fatalf("completed %d of %d jobs", stats.Completed, stats.Jobs)
+	}
+	for _, format := range []string{runner.FormatTable, runner.FormatJSON, runner.FormatCSV} {
+		farm := render(t, results, format)
+		local := renderLocal(t, spec, 2, format)
+		if !bytes.Equal(farm, local) {
+			t.Errorf("%s output differs:\n--- farm ---\n%s--- local -j 2 ---\n%s", format, farm, local)
+		}
+	}
+}
+
+// TestFarmWarmupDedup asserts the content-addressed warmup store costs
+// exactly one warmup simulation per distinct key across the whole fleet:
+// the warmequal sweep's 8 jobs share one key, and with two workers racing
+// for it the coordinator must still grant a single build.
+func TestFarmWarmupDedup(t *testing.T) {
+	spec := JobSpec{Kind: "sweep", Exps: []string{"warmequal"}, Procs: 3, Seed: 7}
+	if err := ApplyGlobals(spec); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJobs := 0
+	for _, j := range jobs {
+		if j.Warmup != nil {
+			warmJobs++
+		}
+	}
+	if warmJobs < 2 {
+		t.Fatalf("warmequal has %d warm jobs; the dedup assertion needs at least 2", warmJobs)
+	}
+	results, stats, err := Run(spec, Options{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Rows(results); err != nil {
+		t.Fatal(err)
+	}
+	if stats.WarmKeys != 1 {
+		t.Errorf("warmequal requested %d distinct warmup keys, want 1", stats.WarmKeys)
+	}
+	if stats.WarmBuilds != stats.WarmKeys {
+		t.Errorf("fleet simulated %d warmup builds for %d keys; want exactly one per key",
+			stats.WarmBuilds, stats.WarmKeys)
+	}
+	if stats.WarmBuilds >= warmJobs {
+		t.Errorf("no dedup: %d builds for %d warm jobs", stats.WarmBuilds, warmJobs)
+	}
+}
+
+// TestFarmConformParity runs a conformance batch through the farm and
+// asserts the reassembled report renders byte-identically to the local
+// CheckBatch path (wall time omitted — the one nondeterministic field).
+func TestFarmConformParity(t *testing.T) {
+	spec := JobSpec{Kind: "conform", CSeed: 1, N: 4, Quick: true}
+	params, opts, err := ConformOptions(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, _, err := Run(spec, Options{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmRep := conformance.BatchReport(spec.CSeed, spec.N, params, results)
+	var farmOut bytes.Buffer
+	farmOK := conformance.Summarize(&farmOut, farmRep, spec.CSeed, spec.N, opts, -1)
+
+	localRep := conformance.CheckBatch(spec.CSeed, spec.N, params, 2, opts, nil)
+	var localOut bytes.Buffer
+	localOK := conformance.Summarize(&localOut, localRep, spec.CSeed, spec.N, opts, -1)
+
+	if farmOK != localOK {
+		t.Errorf("farm verdict %v, local verdict %v", farmOK, localOK)
+	}
+	if !bytes.Equal(farmOut.Bytes(), localOut.Bytes()) {
+		t.Errorf("conform reports differ:\n--- farm ---\n%s--- local ---\n%s", farmOut.Bytes(), localOut.Bytes())
+	}
+	if !localOK {
+		t.Errorf("conformance batch unexpectedly dirty:\n%s", localOut.Bytes())
+	}
+}
+
+// dialCoord starts a coordinator on loopback and returns a raw RPC client
+// to it, for handshake- and protocol-level tests.
+func dialCoord(t *testing.T, spec JobSpec, ttl time.Duration, every uint64) (*Coordinator, *rpc.Client) {
+	t.Helper()
+	coord, err := NewCoordinator(spec, ttl, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	ln, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	client, err := rpc.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return coord, client
+}
+
+// TestFarmHandshakeVersionMismatch asserts a mismatched fleet member is
+// rejected at Hello — before any job, snapshot or checkpoint moves — with
+// an error naming the disagreeing version.
+func TestFarmHandshakeVersionMismatch(t *testing.T) {
+	spec := JobSpec{Kind: "sweep", Exps: []string{"equalization"}, Procs: 3, Seed: 7}
+
+	cases := []struct {
+		name string
+		prep func(c *Coordinator, h *Hello)
+		want string
+	}{
+		{"snapshot", func(c *Coordinator, h *Hello) { h.Snapshot++ }, "snapshot format"},
+		{"protocol", func(c *Coordinator, h *Hello) { h.Protocol++ }, "farm protocol"},
+		{"build", func(c *Coordinator, h *Hello) {
+			c.build = "rev-coordinator"
+			h.Build = "rev-worker"
+		}, "build rev-worker vs rev-coordinator"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, client := dialCoord(t, spec, 0, 0)
+			h := Hello{Protocol: ProtocolVersion, Snapshot: sim.SnapshotVersion, Build: "", Worker: "mismatched"}
+			tc.prep(coord, &h)
+			var w Welcome
+			err := client.Call("Farm.Hello", h, &w)
+			if err == nil {
+				t.Fatalf("%s mismatch accepted", tc.name)
+			}
+			if !bytes.Contains([]byte(err.Error()), []byte(tc.want)) {
+				t.Errorf("error %q does not name the mismatch (want substring %q)", err, tc.want)
+			}
+			// The rejected connection must not be able to lease anyway.
+			var lr LeaseReply
+			if err := client.Call("Farm.Lease", LeaseArgs{}, &lr); err == nil {
+				t.Error("lease granted to a connection that failed the handshake")
+			}
+		})
+	}
+}
+
+// TestFarmFingerprintMismatch asserts a worker whose enumeration diverges
+// from the coordinator's is refused work.
+func TestFarmFingerprintMismatch(t *testing.T) {
+	spec := JobSpec{Kind: "sweep", Exps: []string{"equalization"}, Procs: 3, Seed: 7}
+	_, client := dialCoord(t, spec, 0, 0)
+	var w Welcome
+	if err := client.Call("Farm.Hello", Hello{Protocol: ProtocolVersion, Snapshot: sim.SnapshotVersion, Worker: "divergent"}, &w); err != nil {
+		t.Fatal(err)
+	}
+	var lr LeaseReply
+	err := client.Call("Farm.Lease", LeaseArgs{Fingerprint: "not-the-fingerprint"}, &lr)
+	if err == nil {
+		t.Fatal("divergent fingerprint was leased a job")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("fingerprint mismatch")) {
+		t.Errorf("error %q does not name the fingerprint mismatch", err)
+	}
+}

@@ -35,8 +35,21 @@ type Job struct {
 	Warmup *WarmupSpec
 
 	// Run drives the configured system to completion and returns the
-	// measurement row. It must be non-nil.
+	// measurement row. Exactly one of Run and Measure must be non-nil: Run
+	// owns the whole measured phase (multi-phase drives, oracle checks,
+	// jobs with no machine at all), which makes it opaque to the executor.
 	Run func(s *sim.System) (Row, error)
+
+	// Measure is the declarative alternative to Run for the common
+	// drive-then-extract job shape: the executor drives the configured
+	// machine to completion itself (s.Run() on the local pool) and then
+	// calls Measure with the finished machine and its halt cycle. Because
+	// the executor owns the clock, Measure jobs can be driven through
+	// interval checkpoints and resumed from a mid-flight snapshot by
+	// executors that support it (the sweep farm) — with identical rows,
+	// since snapshot restore and RunUntil slicing are observation-
+	// transparent.
+	Measure func(s *sim.System, halt uint64) (Row, error)
 }
 
 // Result is the outcome of one job. Exactly one of Row/Err is meaningful:
@@ -103,12 +116,16 @@ func Run(jobs []Job, opts Options) []Result {
 		workers = len(jobs)
 	}
 
+	var src WarmupSource
+	if opts.WarmupCache != nil {
+		src = opts.WarmupCache
+	}
 	jobCh := make(chan int)
 	doneCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobCh {
-				results[i] = runOne(jobs[i], opts.WarmupCache)
+				results[i] = RunJob(jobs[i], JobOptions{Warmups: src})
 				doneCh <- i
 			}
 			if opts.OnWorkerIdle != nil {
@@ -138,8 +155,33 @@ func Run(jobs []Job, opts Options) []Result {
 	return results
 }
 
-// runOne executes a single job with panic containment.
-func runOne(j Job, cache *WarmupCache) (res Result) {
+// JobOptions parameterizes RunJob for executors beyond the local pool.
+// The zero value reproduces the pool's behavior exactly: warmups simulate
+// in place and Measure jobs are driven by one s.Run() call.
+type JobOptions struct {
+	// Warmups sources declared warmups (Job.Warmup); nil simulates the
+	// warmup directly on this executor.
+	Warmups WarmupSource
+
+	// Drive, if non-nil, replaces the executor's s.Run() call for Measure
+	// jobs — the farm worker substitutes a RunCheckpointed drive here. It
+	// must leave the machine in the exact state s.Run() would (interval
+	// checkpointing qualifies; anything observable does not). Opaque Run
+	// jobs ignore it.
+	Drive func(s *sim.System) (uint64, error)
+
+	// Start, if non-nil, is an already-configured machine — typically
+	// restored from a mid-flight checkpoint. Configure and Warmup are
+	// skipped; the job's measured phase continues on this machine. Only
+	// meaningful for Measure jobs, whose measured phase is executor-driven.
+	Start *sim.System
+}
+
+// RunJob executes a single job with panic containment, exactly as one of
+// the pool's workers would. Exported for executors that schedule jobs
+// themselves (the farm worker) but must preserve the pool's execution
+// semantics byte for byte.
+func RunJob(j Job, o JobOptions) (res Result) {
 	start := time.Now()
 	res.Name = j.Name
 	defer func() {
@@ -148,22 +190,40 @@ func runOne(j Job, cache *WarmupCache) (res Result) {
 			res.Err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	var s *sim.System
-	switch {
-	case j.Warmup != nil:
-		var err error
-		if s, err = configureWarm(j.Warmup, cache); err != nil {
-			res.Err = err
-			return
-		}
-	case j.Configure != nil:
-		var err error
-		if s, err = j.Configure(); err != nil {
-			res.Err = err
-			return
+	s := o.Start
+	if s == nil {
+		switch {
+		case j.Warmup != nil:
+			var err error
+			if s, err = configureWarm(j.Warmup, o.Warmups); err != nil {
+				res.Err = err
+				return
+			}
+		case j.Configure != nil:
+			var err error
+			if s, err = j.Configure(); err != nil {
+				res.Err = err
+				return
+			}
 		}
 	}
-	row, err := j.Run(s)
+	var row Row
+	var err error
+	switch {
+	case j.Run != nil:
+		row, err = j.Run(s)
+	case j.Measure != nil:
+		drive := o.Drive
+		if drive == nil {
+			drive = func(s *sim.System) (uint64, error) { return s.Run() }
+		}
+		var halt uint64
+		if halt, err = drive(s); err == nil {
+			row, err = j.Measure(s, halt)
+		}
+	default:
+		err = fmt.Errorf("job has neither Run nor Measure")
+	}
 	if err != nil {
 		res.Err = err
 		return

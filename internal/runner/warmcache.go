@@ -27,6 +27,18 @@ type WarmupSpec struct {
 	Finish func(s *sim.System) error
 }
 
+// WarmupSource provides warmed machines by key. The in-process WarmupCache
+// is one implementation; the farm worker's wire source (fetch the snapshot
+// from the coordinator, or build it once for the whole fleet and upload
+// it) is another. Implementations must return a snapshot every consumer
+// can restore privately, and must call build at most once per key across
+// whatever population they deduplicate over.
+type WarmupSource interface {
+	// Machine returns the warmup snapshot for key, invoking build to
+	// simulate the warmup if no other consumer has produced it yet.
+	Machine(key string, build func() (*sim.System, error)) (*snapshot.Machine, error)
+}
+
 // WarmupCache memoizes warmup phases across the jobs of one Run by key:
 // the first job with a given key simulates the warmup and snapshots it;
 // every job (including the builder) then restores a private clone from the
@@ -59,9 +71,9 @@ func (c *WarmupCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// machine returns the snapshot for a warmup key, simulating the warmup via
+// Machine returns the snapshot for a warmup key, simulating the warmup via
 // build exactly once per key (other callers wait for the builder).
-func (c *WarmupCache) machine(key string, build func() (*sim.System, error)) (*snapshot.Machine, error) {
+func (c *WarmupCache) Machine(key string, build func() (*sim.System, error)) (*snapshot.Machine, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if ok {
@@ -88,18 +100,18 @@ func (c *WarmupCache) machine(key string, build func() (*sim.System, error)) (*s
 }
 
 // configureWarm produces the job's measured machine from its warmup spec:
-// through the cache when one is installed (build or reuse the snapshot,
+// through the source when one is installed (build or reuse the snapshot,
 // then restore a private clone), or by simulating the warmup directly when
 // not. Finish then runs on the job's machine either way.
-func configureWarm(w *WarmupSpec, cache *WarmupCache) (*sim.System, error) {
+func configureWarm(w *WarmupSpec, src WarmupSource) (*sim.System, error) {
 	var s *sim.System
-	if cache == nil {
+	if src == nil {
 		var err error
 		if s, err = w.Build(); err != nil {
 			return nil, err
 		}
 	} else {
-		snap, err := cache.machine(w.Key, w.Build)
+		snap, err := src.Machine(w.Key, w.Build)
 		if err != nil {
 			return nil, err
 		}

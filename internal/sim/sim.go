@@ -552,6 +552,41 @@ func (s *System) skipIdleCycles(limit uint64) bool {
 	return true
 }
 
+// RunCheckpointed drives the machine to completion through RunUntil slices
+// of every cycles, invoking save on the quiescent-clock boundary between
+// slices, and returns the halt cycle exactly as Run reports it. The slice
+// boundaries land at the same absolute cycles no matter where the run
+// started, so a machine restored from one of the saved checkpoints and
+// driven by RunCheckpointed again produces the identical remaining
+// boundary sequence — and, because RunUntil state is loop-flavor
+// independent, the identical final machine. Like RunUntil it always drives
+// the sequential loop: checkpointed runs trade the parallel shard engines
+// for an interruptible clock.
+func (s *System) RunCheckpointed(every uint64, save func(*System) error) (uint64, error) {
+	if every == 0 {
+		return s.Run()
+	}
+	// Align slice boundaries to multiples of every on the absolute clock,
+	// so a resumed run (which starts at a boundary) slices exactly like the
+	// run it resumes.
+	for {
+		target := (s.Cycle/every + 1) * every
+		done, err := s.RunUntil(target)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			break
+		}
+		if save != nil {
+			if err := save(s); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return s.HaltCycle() - s.baseCycle, nil
+}
+
 // RunProgram is the one-shot convenience: build, run, return the halt cycle.
 func RunProgram(cfg Config, progs []*isa.Program) (uint64, error) {
 	return New(cfg, progs).Run()

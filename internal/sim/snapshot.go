@@ -8,6 +8,14 @@ import (
 	"mcmsim/internal/snapshot"
 )
 
+// SnapshotVersion is the machine-snapshot format version this build reads
+// and writes (re-exported from internal/snapshot so consumers that hold a
+// *System never import the serialization package). The farm handshake
+// exchanges it: a fleet whose members disagree on SnapshotVersion cannot
+// ship warmup snapshots or checkpoints and is rejected before any
+// deserialization is attempted.
+const SnapshotVersion = snapshot.FormatVersion
+
 // Snapshot serializes the machine's complete state between two cycles,
 // mid-flight included: besides the architectural state (memory image,
 // cache arrays, directory state, registers, clocks, counters, statistics)
